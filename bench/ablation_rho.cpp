@@ -1,0 +1,43 @@
+// Ablation: sensitivity of the estimator to the smoothing parameter ρ
+// (paper §4 discusses ρ ∈ [0,1]; default 0.5). The wordcount muscles have
+// level-dependent durations for the SHARED fs (6.4 s outer vs 0.91 s inner
+// at paper scale), so the EWMA genuinely has to track a regime change — the
+// regime where ρ matters.
+//
+// Prints, per ρ: measured WCT, goal met, peak LP, controller evaluations and
+// the number of LP changes.
+
+#include <iostream>
+
+#include "util/csv.hpp"
+#include "workload/wordcount.hpp"
+
+using namespace askel;
+
+int main(int argc, char** argv) {
+  ScenarioConfig cfg;
+  cfg.wct_goal = 9.5;
+  cfg.timings.scale = argc > 1 ? std::atof(argv[1]) : 0.08;
+  cfg.corpus.num_tweets = 2000;
+
+  std::cout << "=== Ablation: estimator smoothing rho (goal 9.5, scale "
+            << cfg.timings.scale << ") ===\n\n";
+  Table table({"rho", "wct_s", "goal_met", "peak_busy", "lp_changes", "evals"});
+  for (const double rho : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    cfg.rho = rho;
+    const ScenarioResult res = run_wordcount_scenario(cfg);
+    table.add_row({fmt(rho, 2), fmt(res.wct, 3), res.goal_met ? "yes" : "no",
+                   std::to_string(res.peak_busy),
+                   std::to_string(res.actions.size()),
+                   std::to_string(res.controller_evaluations)});
+    if (res.counts != res.expected) {
+      std::cerr << "result mismatch at rho=" << rho << "\n";
+      return 1;
+    }
+  }
+  std::cout << table.to_text();
+  std::cout << "\n(paper default rho=0.5: 'the estimated time is the average "
+               "between the length of the previous execution, and the previous "
+               "estimation')\n";
+  return 0;
+}

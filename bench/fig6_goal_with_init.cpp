@@ -1,0 +1,40 @@
+// Figure 6: "Goal with initialization" — same 9.5 s goal, but t(m) and |m|
+// are initialized with the final values of a previous execution.
+//
+// Paper shape: the controller reacts already at 6.4 s (the end of the first
+// split — no need to wait for a merge), peaks at 19 threads at 7.6 s, and
+// finishes at 8.4 s: earlier than scenario 1, and 1.1 s before the goal
+// because the LP decrease path is deliberately slow.
+
+#include "scenario_common.hpp"
+
+using namespace askel;
+
+int main(int argc, char** argv) {
+  ScenarioConfig cfg = benchharness::parse_config(argc, argv, /*goal=*/9.5);
+
+  // Previous execution (scenario 1) provides the initialization values.
+  const ScenarioResult warmup = run_wordcount_scenario(cfg);
+  const ScenarioResult res = run_wordcount_scenario(cfg, &warmup.final_estimates);
+
+  benchharness::print_scenario(
+      "Figure 6: Goal (9.5 s) with initialization", cfg, res,
+      "adapts at 6.4 s (end of first split), peak 19 threads, ends 8.4 s "
+      "(1.1 s early: slow decrease)");
+
+  // Shape checks: the initialized run adapts earlier than the cold run and
+  // no later than just after the outer split; it finishes no later.
+  const bool earlier =
+      !res.actions.empty() && !warmup.actions.empty() &&
+      res.actions.front().t < warmup.actions.front().t;
+  const bool at_split_end =
+      !res.actions.empty() &&
+      res.actions.front().t < cfg.timings.scaled_outer_split() * 1.5;
+  const bool faster = res.wct <= warmup.wct * 1.1;
+  const bool ok = earlier && at_split_end && faster && res.counts == res.expected;
+  std::cout << "cold-run first adaptation   : "
+            << fmt(warmup.actions.empty() ? -1 : warmup.actions.front().t * 1000, 1)
+            << " ms, wct " << fmt(warmup.wct, 3) << " s\n";
+  std::cout << (ok ? "[SHAPE OK]\n" : "[SHAPE MISMATCH]\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,183 @@
+// google-benchmark microbenchmarks of the framework's moving parts: event
+// dispatch overhead, skeleton interpretation overhead, scheduler costs on
+// growing ADGs, estimator updates, and pool resize latency.
+//
+// These quantify the "very high level of adaptability" claim: per-event
+// monitoring is only viable if event dispatch and re-estimation are cheap
+// relative to muscle work.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "adg/best_effort.hpp"
+#include "adg/limited_lp.hpp"
+#include "adg/timeline.hpp"
+#include "autonomic/decision.hpp"
+#include "est/registry.hpp"
+#include "skel/typed.hpp"
+#include "sm/tracker_set.hpp"
+#include "workload/paper_example.hpp"
+
+namespace askel {
+namespace {
+
+// ------------------------------------------------------------ event layer --
+
+void BM_EventDispatch_NoListeners(benchmark::State& state) {
+  EventBus bus;
+  Event ev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.dispatch(std::any(1), ev));
+  }
+}
+BENCHMARK(BM_EventDispatch_NoListeners);
+
+void BM_EventDispatch_Listeners(benchmark::State& state) {
+  EventBus bus;
+  for (int k = 0; k < state.range(0); ++k) {
+    bus.add_listener(std::make_shared<ObserverListener>([](const Event&) {}));
+  }
+  Event ev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.dispatch(std::any(1), ev));
+  }
+}
+BENCHMARK(BM_EventDispatch_Listeners)->Arg(1)->Arg(4)->Arg(16);
+
+// --------------------------------------------------------- skeleton layer --
+
+void BM_SkeletonOverhead_SeqNoop(benchmark::State& state) {
+  ResizableThreadPool pool(1, 1);
+  EventBus bus;
+  Engine engine(pool, bus);
+  auto fe = execute_muscle<int, int>("noop", [](int x) { return x; });
+  auto skel = Seq(fe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skel.input(1, engine).get());
+  }
+}
+BENCHMARK(BM_SkeletonOverhead_SeqNoop);
+
+void BM_SkeletonOverhead_MapNoop(benchmark::State& state) {
+  ResizableThreadPool pool(2, 2);
+  EventBus bus;
+  Engine engine(pool, bus);
+  const int n = static_cast<int>(state.range(0));
+  auto fs = split_muscle<int, int>("fs", [n](int) {
+    return std::vector<int>(static_cast<std::size_t>(n), 1);
+  });
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto fm = merge_muscle<int, int>("fm", [](std::vector<int> v) {
+    return std::accumulate(v.begin(), v.end(), 0);
+  });
+  auto skel = Map(fs, Seq(fe), fm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skel.input(0, engine).get());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SkeletonOverhead_MapNoop)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_SkeletonOverhead_WithTrackingListeners(benchmark::State& state) {
+  ResizableThreadPool pool(2, 2);
+  EventBus bus;
+  EstimateRegistry reg(0.5);
+  TrackerSet trackers(reg);
+  bus.add_listener(trackers.as_listener());
+  Engine engine(pool, bus);
+  auto fs = split_muscle<int, int>("fs", [](int) {
+    return std::vector<int>(32, 1);
+  });
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto fm = merge_muscle<int, int>("fm", [](std::vector<int> v) {
+    return static_cast<int>(v.size());
+  });
+  auto skel = Map(fs, Seq(fe), fm);
+  for (auto _ : state) {
+    trackers.reset();
+    benchmark::DoNotOptimize(skel.input(0, engine).get());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_SkeletonOverhead_WithTrackingListeners);
+
+// -------------------------------------------------------- analytic layers --
+
+AdgSnapshot wide_dag(int width) {
+  AdgSnapshot g;
+  g.now = 0.0;
+  const int split = g.add(make_pending(0, "fs", 1.0, {}));
+  std::vector<int> fes;
+  for (int k = 0; k < width; ++k) fes.push_back(g.add(make_pending(1, "fe", 1.0, {split})));
+  g.add(make_pending(2, "fm", 1.0, fes));
+  return g;
+}
+
+void BM_BestEffort(benchmark::State& state) {
+  const AdgSnapshot g = wide_dag(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(best_effort(g).wct);
+  }
+}
+BENCHMARK(BM_BestEffort)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_LimitedLp(benchmark::State& state) {
+  const AdgSnapshot g = wide_dag(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(limited_lp(g, 8).wct);
+  }
+}
+BENCHMARK(BM_LimitedLp)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_Decide(benchmark::State& state) {
+  const AdgSnapshot g = wide_dag(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decide(g, 2.0, 4, 24));
+  }
+}
+BENCHMARK(BM_Decide)->Arg(32)->Arg(256);
+
+void BM_TrackerSnapshot_PaperExample(benchmark::State& state) {
+  PaperExampleReplay replay;
+  replay.replay_until(70.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replay.snapshot(70.0).size());
+  }
+}
+BENCHMARK(BM_TrackerSnapshot_PaperExample);
+
+void BM_EstimatorObserve(benchmark::State& state) {
+  EstimateRegistry reg(0.5);
+  long k = 0;
+  for (auto _ : state) {
+    reg.observe_duration(static_cast<int>(k % 8), 1.0);
+    ++k;
+  }
+}
+BENCHMARK(BM_EstimatorObserve);
+
+// ---------------------------------------------------------------- runtime --
+
+void BM_PoolResize(benchmark::State& state) {
+  ResizableThreadPool pool(1, 16);
+  int lp = 1;
+  for (auto _ : state) {
+    lp = lp == 1 ? 16 : 1;
+    benchmark::DoNotOptimize(pool.set_target_lp(lp));
+  }
+}
+BENCHMARK(BM_PoolResize);
+
+void BM_PoolSubmitDrain(benchmark::State& state) {
+  ResizableThreadPool pool(2, 2);
+  for (auto _ : state) {
+    for (int k = 0; k < 64; ++k) pool.submit([] {});
+    pool.wait_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PoolSubmitDrain);
+
+}  // namespace
+}  // namespace askel

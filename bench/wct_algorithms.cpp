@@ -1,0 +1,83 @@
+// The paper's §6 future work: "analyses of different WCT estimation
+// algorithms comparing its overhead costs". Compares, on the paper's §4
+// worked example and on random DAGs of growing size:
+//   * greedy list scheduling (the paper's algorithm; most accurate),
+//   * the Graham bound max(CP, W/p) (O(V+E), optimistic).
+// Reports estimate values, relative deviation, and per-call cost.
+
+#include <chrono>
+#include <iostream>
+#include <random>
+
+#include "adg/bounds.hpp"
+#include "adg/limited_lp.hpp"
+#include "util/csv.hpp"
+#include "workload/paper_example.hpp"
+
+using namespace askel;
+
+namespace {
+
+AdgSnapshot random_dag(std::uint64_t seed, int n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dur(0.1, 5.0);
+  std::uniform_int_distribution<int> npreds(0, 3);
+  AdgSnapshot g;
+  g.now = 0.0;
+  for (int k = 0; k < n; ++k) {
+    std::vector<int> preds;
+    if (k > 0) {
+      std::uniform_int_distribution<int> pick(0, k - 1);
+      for (int j = npreds(rng); j > 0; --j) preds.push_back(pick(rng));
+      std::sort(preds.begin(), preds.end());
+      preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    }
+    g.add(make_pending(0, "x", dur(rng), std::move(preds)));
+  }
+  return g;
+}
+
+template <class F>
+double time_ns(F&& fn, int iters) {
+  const auto t0 = std::chrono::steady_clock::now();
+  double sink = 0.0;
+  for (int k = 0; k < iters; ++k) sink += fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)sink;
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== WCT estimation algorithms: accuracy and overhead ===\n\n";
+
+  // Accuracy on the paper's worked example at LP 2 (list schedule = 115).
+  PaperExampleReplay replay;
+  replay.replay_until(70.0);
+  const AdgSnapshot paper = replay.snapshot(70.0);
+  std::cout << "paper example @70, LP=2: list=" << limited_lp(paper, 2).wct
+            << "  graham_bound=" << graham_bound(paper, 2)
+            << "  graham_upper=" << graham_upper(paper, 2) << "\n\n";
+
+  Table table({"n", "lp", "list_wct", "graham_wct", "deviation_%", "list_ns",
+               "graham_ns"});
+  for (const int n : {16, 64, 256, 1024}) {
+    const AdgSnapshot g = random_dag(17, n);
+    for (const int lp : {2, 8}) {
+      const double list = limited_lp(g, lp).wct;
+      const double bound = graham_bound(g, lp);
+      const int iters = n <= 256 ? 200 : 20;
+      const double tl = time_ns([&] { return limited_lp(g, lp).wct; }, iters);
+      const double tb = time_ns([&] { return graham_bound(g, lp); }, iters);
+      table.add_row({std::to_string(n), std::to_string(lp), fmt(list, 2),
+                     fmt(bound, 2), fmt(100.0 * (list - bound) / list, 1),
+                     fmt(tl, 0), fmt(tb, 0)});
+    }
+  }
+  std::cout << table.to_text();
+  std::cout << "\n(graham_bound is a valid lower bound: using it in the "
+               "controller risks under-allocation when dependencies, not "
+               "work, dominate — the deviation column quantifies that)\n";
+  return 0;
+}

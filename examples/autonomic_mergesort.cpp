@@ -1,0 +1,84 @@
+// Autonomic divide-and-conquer beyond the paper's map-only evaluation:
+// a d&C mergesort with sleep-weighted leaves under a WCT goal. Demonstrates
+// the d&C state machine (|fc| = recursion depth) feeding the controller.
+//
+//   $ ./autonomic_mergesort [goal_seconds]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+
+#include "askel.hpp"
+#include "util/csv.hpp"
+#include "workload/calibrated.hpp"
+
+using namespace askel;
+using Vec = std::vector<int>;
+
+int main(int argc, char** argv) {
+  const double goal = argc > 1 ? std::atof(argv[1]) : 0.35;
+
+  ResizableThreadPool pool(1, 16);
+  EventBus bus;
+  EstimateRegistry reg(0.5);
+  TrackerSet trackers(reg);
+  bus.add_listener(trackers.as_listener());
+  AutonomicController controller(pool, trackers);
+  bus.add_listener(controller.as_listener());
+  Engine engine(pool, bus);
+
+  // Divide while the slice is large; leaves sort ~4k elements each and carry
+  // a small calibrated sleep so the recursion tree has measurable work.
+  auto fc = condition_muscle<Vec>("big", [](const Vec& v) { return v.size() > 4096; });
+  auto fs = split_muscle<Vec, Vec>("halve", [](Vec v) {
+    simulate_work(0.002);
+    const std::size_t half = v.size() / 2;
+    return std::vector<Vec>{Vec(v.begin(), v.begin() + half),
+                            Vec(v.begin() + half, v.end())};
+  });
+  auto leaf = execute_muscle<Vec, Vec>("sort", [](Vec v) {
+    simulate_work(0.02);
+    std::sort(v.begin(), v.end());
+    return v;
+  });
+  auto fm = merge_muscle<Vec, Vec>("merge", [](std::vector<Vec> parts) {
+    simulate_work(0.002);
+    Vec out;
+    for (Vec& p : parts) {
+      Vec next(out.size() + p.size());
+      std::merge(out.begin(), out.end(), p.begin(), p.end(), next.begin());
+      out = std::move(next);
+    }
+    return out;
+  });
+  auto skel = DaC(fc, fs, Seq(leaf), fm);
+
+  Vec data(64 * 1024);
+  std::mt19937 rng(7);
+  for (int& x : data) x = static_cast<int>(rng());
+
+  // Warm-up run: learns t(m) and |fc| (recursion depth), no goal pressure.
+  std::cout << "warm-up run (learning estimates)...\n";
+  skel.input(data, engine).get();
+  std::cout << "learned recursion depth |fc| = "
+            << reg.cardinality(fc.m->id()).value_or(-1) << "\n";
+
+  // Goal-driven run: the controller adapts LP from the estimates.
+  trackers.reset();
+  pool.set_target_lp(1);
+  controller.arm(goal);
+  const TimePoint t0 = default_clock().now();
+  Vec sorted = skel.input(data, engine).get();
+  const double wct = default_clock().now() - t0;
+  controller.disarm();
+
+  std::cout << "goal " << goal << " s -> finished in " << fmt(wct, 3) << " s ("
+            << (wct <= goal ? "MET" : "MISSED") << ")\n";
+  std::cout << "peak busy threads: " << pool.gauge().peak() << "\n";
+  for (const auto& a : controller.actions()) {
+    std::cout << "  t=" << fmt(a.t - t0, 3) << "s  LP " << a.from_lp << " -> "
+              << a.to_lp << "  (" << to_string(a.reason) << ")\n";
+  }
+  return std::is_sorted(sorted.begin(), sorted.end()) ? 0 : 1;
+}

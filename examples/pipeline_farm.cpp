@@ -1,0 +1,62 @@
+// Task-parallel patterns: a farm of two-stage pipes processing a stream of
+// independent requests, with while/if skeletons in the second stage.
+// Exercises farm, pipe, if and while together on many concurrent inputs.
+//
+//   $ ./pipeline_farm
+
+#include <iostream>
+
+#include "askel.hpp"
+
+using namespace askel;
+
+namespace {
+
+struct Request {
+  int id = 0;
+  long value = 0;
+};
+
+}  // namespace
+
+int main() {
+  ResizableThreadPool pool(4, 8);
+  EventBus bus;
+  Engine engine(pool, bus);
+
+  // Stage 1: "decode" — derive a working value from the request id.
+  auto decode = execute_muscle<Request, Request>("decode", [](Request r) {
+    r.value = r.id * 1000 + 1;
+    return r;
+  });
+
+  // Stage 2: iterate a Collatz-style reduction while the value is large
+  // (while skeleton), then classify it (if skeleton).
+  auto big = condition_muscle<Request>("big", [](const Request& r) {
+    return r.value > 10;
+  });
+  auto shrink = execute_muscle<Request, Request>("shrink", [](Request r) {
+    r.value = r.value % 2 == 0 ? r.value / 2 : 3 * r.value + 1;
+    return r;
+  });
+  auto even = condition_muscle<Request>("even", [](const Request& r) {
+    return r.value % 2 == 0;
+  });
+  auto tag_even = execute_muscle<Request, std::string>("tag_even", [](Request r) {
+    return "req" + std::to_string(r.id) + ":even:" + std::to_string(r.value);
+  });
+  auto tag_odd = execute_muscle<Request, std::string>("tag_odd", [](Request r) {
+    return "req" + std::to_string(r.id) + ":odd:" + std::to_string(r.value);
+  });
+
+  auto stage2 = Pipe(While(big, Seq(shrink)), If(even, Seq(tag_even), Seq(tag_odd)));
+  auto service = Farm(Pipe(Seq(decode), stage2));
+
+  // A stream of concurrent requests through the farm.
+  std::vector<Future<std::string>> results;
+  for (int id = 0; id < 12; ++id) results.push_back(service.input(Request{id, 0}, engine));
+
+  for (auto& fut : results) std::cout << fut.get() << "\n";
+  std::cout << "peak concurrency: " << pool.gauge().peak() << "\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The paper's §5 evaluation workload as a runnable example: autonomic
+// hashtag / commented-user count over a synthetic tweet corpus with a WCT
+// goal, showing the controller raising the level of parallelism mid-run.
+//
+//   $ ./twitter_wordcount [goal_seconds_at_paper_scale] [scale]
+//
+// Defaults: goal 9.5 (the paper's scenario 1), scale 0.1 (the paper's 12.5 s
+// sequential profile compressed to ≈1.25 s).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "askel.hpp"
+#include "util/csv.hpp"
+#include "workload/wordcount.hpp"
+
+using namespace askel;
+
+int main(int argc, char** argv) {
+  ScenarioConfig cfg;
+  cfg.wct_goal = argc > 1 ? std::atof(argv[1]) : 9.5;
+  cfg.timings.scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+  cfg.corpus.num_tweets = 5000;
+
+  std::cout << "Workload : map(fs, map(fs, seq(fe), fm), fm) over "
+            << cfg.corpus.num_tweets << " synthetic tweets\n";
+  std::cout << "Goal     : " << cfg.wct_goal << " paper-seconds  (scaled: "
+            << cfg.wct_goal * cfg.timings.scale << " s)\n";
+  std::cout << "Seq WCT  : " << cfg.timings.sequential_wct() << " s\n\n";
+
+  const ScenarioResult res = run_wordcount_scenario(cfg);
+
+  std::cout << "finished in " << res.wct << " s  (goal "
+            << (res.goal_met ? "MET" : "MISSED") << ")\n";
+  std::cout << "peak busy threads: " << res.peak_busy << "\n";
+  std::cout << "controller evaluations: " << res.controller_evaluations << "\n";
+  std::cout << "\nLP decisions:\n";
+  for (const auto& a : res.actions) {
+    std::cout << "  t=" << fmt(a.t, 3) << "s  LP " << a.from_lp << " -> " << a.to_lp
+              << "  (" << to_string(a.reason) << ")\n";
+  }
+
+  std::cout << "\ntop tokens:\n";
+  std::vector<std::pair<long, std::string>> ranked;
+  for (const auto& [token, n] : res.counts) ranked.emplace_back(n, token);
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (std::size_t k = 0; k < std::min<std::size_t>(5, ranked.size()); ++k) {
+    std::cout << "  " << ranked[k].second << " : " << ranked[k].first << "\n";
+  }
+  return res.counts == res.expected ? 0 : 1;
+}

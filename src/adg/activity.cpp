@@ -1,0 +1,51 @@
+#include "adg/activity.hpp"
+
+namespace askel {
+
+std::string to_string(ActivityState s) {
+  switch (s) {
+    case ActivityState::kDone: return "done";
+    case ActivityState::kRunning: return "running";
+    case ActivityState::kPending: return "pending";
+  }
+  return "?";
+}
+
+Activity make_done(int muscle_id, std::string label, TimePoint start, TimePoint end,
+                   std::vector<int> preds) {
+  Activity a;
+  a.muscle_id = muscle_id;
+  a.label = std::move(label);
+  a.state = ActivityState::kDone;
+  a.start = start;
+  a.end = end;
+  a.est_duration = end - start;
+  a.preds = std::move(preds);
+  return a;
+}
+
+Activity make_running(int muscle_id, std::string label, TimePoint start,
+                      Duration est_duration, std::vector<int> preds) {
+  Activity a;
+  a.muscle_id = muscle_id;
+  a.label = std::move(label);
+  a.state = ActivityState::kRunning;
+  a.start = start;
+  a.est_duration = est_duration;
+  a.preds = std::move(preds);
+  return a;
+}
+
+Activity make_pending(int muscle_id, std::string label, Duration est_duration,
+                      std::vector<int> preds, bool has_estimate) {
+  Activity a;
+  a.muscle_id = muscle_id;
+  a.label = std::move(label);
+  a.state = ActivityState::kPending;
+  a.est_duration = est_duration;
+  a.has_estimate = has_estimate;
+  a.preds = std::move(preds);
+  return a;
+}
+
+}  // namespace askel

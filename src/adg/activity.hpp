@@ -1,0 +1,57 @@
+#pragma once
+// Activities: nodes of the Activity Dependency Graph (paper §4, Figure 1).
+//
+// "Each activity corresponds to a muscle execution. The first and third
+//  columns represent the start and end time respectively. They could be an
+//  actual time (already passed); or a best effort estimated time; or a
+//  limited LP estimated time."
+//
+// An Activity here carries the *actual* facts (state, actual start/end) plus
+// the duration estimate t(m); the estimated start/end columns are produced by
+// the schedulers in best_effort.* and limited_lp.*.
+
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace askel {
+
+enum class ActivityState : int {
+  kDone,     // muscle finished: start and end are actual times
+  kRunning,  // muscle started: start is actual, end is to be estimated
+  kPending,  // muscle not started: both are to be estimated
+};
+
+std::string to_string(ActivityState s);
+
+struct Activity {
+  /// Snapshot-local id; equals the activity's index in the snapshot and is
+  /// strictly greater than every predecessor's id (topological order).
+  int id = -1;
+  /// Muscle whose execution this activity models (-1 for synthetic nodes).
+  int muscle_id = -1;
+  /// Display label for figure tables, e.g. "fs", "fe", "fm".
+  std::string label;
+  ActivityState state = ActivityState::kPending;
+  /// Actual start (done/running only).
+  TimePoint start = 0.0;
+  /// Actual end (done only).
+  TimePoint end = 0.0;
+  /// t(m) estimate used for running/pending activities.
+  Duration est_duration = 0.0;
+  /// False when t(m) had never been observed nor initialized; the expansion
+  /// then uses 0 and flags the snapshot as incomplete.
+  bool has_estimate = true;
+  /// Ids of activities that must finish before this one can start.
+  std::vector<int> preds;
+};
+
+Activity make_done(int muscle_id, std::string label, TimePoint start, TimePoint end,
+                   std::vector<int> preds);
+Activity make_running(int muscle_id, std::string label, TimePoint start,
+                      Duration est_duration, std::vector<int> preds);
+Activity make_pending(int muscle_id, std::string label, Duration est_duration,
+                      std::vector<int> preds, bool has_estimate = true);
+
+}  // namespace askel

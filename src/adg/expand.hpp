@@ -1,0 +1,64 @@
+#pragma once
+// Expected-future expansion: append to a snapshot the activities that a
+// not-yet-started (sub-)skeleton is *expected* to perform, using the current
+// |m| estimates for fan-out/iteration counts and t(m) for durations.
+//
+// The tracker layer uses this for map children that exist only as a count in
+// fsCard, for future While/For iterations, and for the unexplored part of a
+// d&C recursion tree.
+
+#include "adg/snapshot.hpp"
+#include "est/registry.hpp"
+#include "skel/nodes.hpp"
+
+namespace askel {
+
+struct ExpandLimits {
+  /// Hard cap on snapshot size; hitting it sets snapshot.truncated and stops
+  /// expanding (a d&C with badly over-estimated fan-out could explode).
+  std::size_t max_activities = 100000;
+  /// Recursion depth guard.
+  int max_depth = 64;
+};
+
+/// Expand one expected execution of `node` whose inputs become ready when all
+/// of `preds` finish. Returns the ids of the terminal activities the node's
+/// result depends on (used to wire the consumer's preds).
+///
+/// Estimation gaps: a muscle without t(m) contributes a 0-duration activity
+/// and clears snapshot.complete_estimates; a Split/Condition without |m|
+/// falls back to cardinality 1 and also clears the flag.
+///
+/// `est_depth` is the dynamic nesting depth at which `node`'s instance would
+/// run (0 = root); nested children sit one deeper. Only relevant when the
+/// estimate snapshot uses EstimationScope::kPerDepth.
+std::vector<int> expand_expected(const SkelNode& node, const Estimates& est,
+                                 AdgSnapshot& g, const std::vector<int>& preds,
+                                 const ExpandLimits& lim = {}, int est_depth = 0);
+
+/// Expected expansion of a d&C instance sitting at recursion level `level`
+/// (the root call is level 0): condition, then leaf or split/children/merge
+/// depending on the estimated recursion depth |fc|.
+std::vector<int> expand_expected_dac(const DacNode& node, const Estimates& est,
+                                     AdgSnapshot& g, const std::vector<int>& preds,
+                                     long level, const ExpandLimits& lim = {},
+                                     int est_depth = 0);
+
+/// Same, but for an instance whose condition has already executed: only what
+/// follows the condition. `divided` is the condition's (known or assumed)
+/// result.
+std::vector<int> expand_dac_body(const DacNode& node, const Estimates& est,
+                                 AdgSnapshot& g, const std::vector<int>& preds,
+                                 long level, bool divided,
+                                 const ExpandLimits& lim = {}, int est_depth = 0);
+
+/// Append one pending activity for `m` using t(m) from `est` (0 + incomplete
+/// flag when unknown). Returns the new activity id.
+int add_pending_muscle(AdgSnapshot& g, const Estimates& est, const Muscle& m,
+                       std::vector<int> preds, int est_depth = kAnyDepth);
+
+/// Cardinality estimate rounded to a usable count (>= 0).
+long rounded_cardinality(const Estimates& est, int muscle_id, long fallback,
+                         bool* known = nullptr, int est_depth = kAnyDepth);
+
+}  // namespace askel

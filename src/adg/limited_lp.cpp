@@ -1,0 +1,90 @@
+#include "adg/limited_lp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace askel {
+
+Schedule limited_lp(const AdgSnapshot& g, int lp) {
+  if (lp < 1) throw std::invalid_argument("limited_lp: lp must be >= 1");
+  const std::size_t n = g.activities.size();
+  Schedule s;
+  s.entries.resize(n);
+
+  // Pass 1: fix done and running activities; collect running end times.
+  std::vector<TimePoint> running_ends;
+  std::vector<char> scheduled(n, 0);
+  for (const Activity& a : g.activities) {
+    if (a.state == ActivityState::kDone) {
+      s.entries[a.id] = {a.start, a.end};
+      scheduled[a.id] = 1;
+      s.wct = std::max(s.wct, a.end);
+    } else if (a.state == ActivityState::kRunning) {
+      const TimePoint end = std::max(a.start + a.est_duration, g.now);
+      s.entries[a.id] = {a.start, end};
+      scheduled[a.id] = 1;
+      running_ends.push_back(end);
+      s.wct = std::max(s.wct, end);
+    }
+  }
+
+  // Worker availability. Running activities physically occupy threads; if
+  // more are running than `lp` (the controller just shrank the pool), the
+  // surplus threads park when they finish, so only the `lp`
+  // earliest-finishing slots rejoin the pool.
+  std::sort(running_ends.begin(), running_ends.end());
+  std::multiset<TimePoint> avail;
+  const std::size_t reuse = std::min<std::size_t>(running_ends.size(), lp);
+  for (std::size_t k = 0; k < reuse; ++k) avail.insert(running_ends[k]);
+  for (int k = static_cast<int>(running_ends.size()); k < lp; ++k)
+    avail.insert(g.now);
+
+  // Pass 2: greedy list scheduling of pending activities.
+  std::vector<int> pending;
+  for (const Activity& a : g.activities)
+    if (a.state == ActivityState::kPending) pending.push_back(a.id);
+
+  std::size_t left = pending.size();
+  std::vector<char> placed(n, 0);
+  while (left > 0) {
+    int best = -1;
+    TimePoint best_ready = 0.0;
+    for (const int id : pending) {
+      if (placed[id]) continue;
+      const Activity& a = g.activities[id];
+      bool ready = true;
+      TimePoint ready_t = g.now;
+      for (const int p : a.preds) {
+        if (!scheduled[p]) {
+          ready = false;
+          break;
+        }
+        ready_t = std::max(ready_t, s.entries[p].end);
+      }
+      if (!ready) continue;
+      if (best == -1 || ready_t < best_ready) {
+        best = id;
+        best_ready = ready_t;
+      }
+    }
+    // Topological snapshot order guarantees at least one ready activity.
+    assert(best != -1 && "cycle or dangling predecessor in snapshot");
+    const auto it = avail.begin();
+    const TimePoint worker_free = *it;
+    avail.erase(it);
+    const TimePoint start = std::max(best_ready, worker_free);
+    const TimePoint end = start + g.activities[best].est_duration;
+    avail.insert(end);
+    s.entries[best] = {start, end};
+    scheduled[best] = 1;
+    placed[best] = 1;
+    s.wct = std::max(s.wct, end);
+    --left;
+  }
+  return s;
+}
+
+}  // namespace askel

@@ -1,0 +1,22 @@
+#pragma once
+// Limited-LP WCT estimation (paper §4): "Limited LP strategy is used to
+// calculate the total WCT under a limit of LP. In this case LP is not
+// infinite, therefore the ti calculation has an extra constraint: at any
+// point of time LP should not be over the limit."
+//
+// Finding the true minimum-makespan schedule under a processor bound is
+// NP-complete (the paper says so); like Skandium we use deterministic greedy
+// list scheduling: among ready activities, the earliest-ready one (ties by
+// id) is placed on the earliest-free worker.
+
+#include "adg/best_effort.hpp"
+
+namespace askel {
+
+/// Greedy list schedule of the snapshot's running+pending activities on `lp`
+/// workers. Done activities keep their actual times and hold no worker;
+/// running activities each hold a worker until their estimated end (they are
+/// physically occupying threads and are never migrated).
+Schedule limited_lp(const AdgSnapshot& g, int lp);
+
+}  // namespace askel

@@ -1,0 +1,67 @@
+#include "adg/snapshot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace askel {
+
+int AdgSnapshot::add(Activity a) {
+  a.id = static_cast<int>(activities.size());
+  for (const int p : a.preds) {
+    if (p < 0 || p >= a.id)
+      throw std::invalid_argument("AdgSnapshot::add: predecessor id out of order");
+  }
+  if (!a.has_estimate && a.state != ActivityState::kDone) complete_estimates = false;
+  activities.push_back(std::move(a));
+  return static_cast<int>(activities.size()) - 1;
+}
+
+std::size_t AdgSnapshot::count(ActivityState s) const {
+  std::size_t n = 0;
+  for (const Activity& a : activities) n += (a.state == s);
+  return n;
+}
+
+std::string AdgSnapshot::validate() const {
+  std::ostringstream err;
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const Activity& a = activities[i];
+    if (a.id != static_cast<int>(i)) {
+      err << "activity " << i << ": id mismatch";
+      return err.str();
+    }
+    for (const int p : a.preds) {
+      if (p < 0 || p >= a.id) {
+        err << "activity " << i << ": bad pred " << p;
+        return err.str();
+      }
+    }
+    switch (a.state) {
+      case ActivityState::kDone:
+        if (a.end < a.start) {
+          err << "activity " << i << ": done with end < start";
+          return err.str();
+        }
+        if (a.end > now) {
+          err << "activity " << i << ": done in the future";
+          return err.str();
+        }
+        break;
+      case ActivityState::kRunning:
+        if (a.start > now) {
+          err << "activity " << i << ": running but started in the future";
+          return err.str();
+        }
+        break;
+      case ActivityState::kPending:
+        if (a.est_duration < 0) {
+          err << "activity " << i << ": negative estimate";
+          return err.str();
+        }
+        break;
+    }
+  }
+  return {};
+}
+
+}  // namespace askel

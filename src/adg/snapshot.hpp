@@ -1,0 +1,40 @@
+#pragma once
+// AdgSnapshot: a point-in-time Activity Dependency Graph.
+//
+// The tracker layer (sm/) rebuilds a snapshot on demand from the live state
+// machines: done activities carry actual times, running ones their actual
+// start, and the not-yet-executed remainder of the skeleton is expanded from
+// the current estimates (adg/expand.*). The schedulers below then answer
+// "when will this finish?" under different LP assumptions.
+
+#include <vector>
+
+#include "adg/activity.hpp"
+
+namespace askel {
+
+struct AdgSnapshot {
+  /// The observation instant (the "black box" moment of Figure 1).
+  TimePoint now = 0.0;
+  /// Topologically ordered: every activity's preds have smaller ids.
+  std::vector<Activity> activities;
+  /// True iff every running/pending activity had a t(m) estimate. The
+  /// controller refuses to act on incomplete snapshots — the paper: "the
+  /// system has to wait until all muscles have been executed at least once".
+  bool complete_estimates = true;
+  /// True when the expected-future expansion hit its size guard.
+  bool truncated = false;
+
+  /// Append an activity, assigning its id. Predecessor ids must already be
+  /// present. Returns the new id.
+  int add(Activity a);
+
+  std::size_t size() const { return activities.size(); }
+  std::size_t count(ActivityState s) const;
+
+  /// Structural checks (topological pred order, state/time consistency).
+  /// Returns an empty string when valid, else a description of the problem.
+  std::string validate() const;
+};
+
+}  // namespace askel

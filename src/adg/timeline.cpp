@@ -1,0 +1,39 @@
+#include "adg/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "adg/best_effort.hpp"
+
+namespace askel {
+
+std::vector<Sample> concurrency_profile(const Schedule& s) {
+  // Sum +1/-1 deltas per time point; ends cancel starts at the same instant,
+  // which also erases zero-duration activities.
+  std::map<TimePoint, int> delta;
+  for (const ScheduleEntry& e : s.entries) {
+    if (e.end <= e.start) continue;
+    delta[e.start] += 1;
+    delta[e.end] -= 1;
+  }
+  std::vector<Sample> profile;
+  int level = 0;
+  for (const auto& [t, d] : delta) {
+    if (d == 0) continue;
+    level += d;
+    profile.push_back(Sample{t, static_cast<double>(level)});
+  }
+  return profile;
+}
+
+int peak_concurrency(const std::vector<Sample>& profile) {
+  double peak = 0.0;
+  for (const Sample& s : profile) peak = std::max(peak, s.value);
+  return static_cast<int>(peak);
+}
+
+int optimal_lp(const AdgSnapshot& g) {
+  return peak_concurrency(concurrency_profile(best_effort(g)));
+}
+
+}  // namespace askel

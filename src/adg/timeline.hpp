@@ -1,0 +1,23 @@
+#pragma once
+// Concurrency timelines over schedules (paper §4, Figure 2).
+//
+// "Optimal LP is calculated using a time-line... It shows a maximum
+//  requirement of 3 active threads during the interval [75, 90). Therefore
+//  the optimal LP for this example is 3 threads."
+
+#include "adg/best_effort.hpp"
+#include "util/time_series.hpp"
+
+namespace askel {
+
+/// Step function: number of simultaneously executing activities over time.
+/// One sample per change point; zero-duration activities contribute nothing.
+std::vector<Sample> concurrency_profile(const Schedule& s);
+
+/// Peak of a concurrency profile (0 for an empty profile).
+int peak_concurrency(const std::vector<Sample>& profile);
+
+/// The paper's optimal LP: peak concurrency of the best-effort schedule.
+int optimal_lp(const AdgSnapshot& g);
+
+}  // namespace askel

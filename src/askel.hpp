@@ -1,0 +1,18 @@
+#pragma once
+// Umbrella header for the askel library: autonomic algorithmic skeletons
+// using events (reproduction of Pabón & Henrio, PMAM 2014).
+
+#include "autonomic/controller.hpp"   // IWYU pragma: export
+#include "autonomic/goals.hpp"        // IWYU pragma: export
+#include "adg/best_effort.hpp"        // IWYU pragma: export
+#include "adg/limited_lp.hpp"         // IWYU pragma: export
+#include "adg/snapshot.hpp"           // IWYU pragma: export
+#include "adg/timeline.hpp"           // IWYU pragma: export
+#include "est/registry.hpp"           // IWYU pragma: export
+#include "events/event_bus.hpp"       // IWYU pragma: export
+#include "events/listener.hpp"        // IWYU pragma: export
+#include "runtime/thread_pool.hpp"    // IWYU pragma: export
+#include "skel/engine.hpp"            // IWYU pragma: export
+#include "skel/typed.hpp"             // IWYU pragma: export
+#include "sm/tracker_set.hpp"         // IWYU pragma: export
+#include "util/clock.hpp"             // IWYU pragma: export

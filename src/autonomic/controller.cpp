@@ -1,0 +1,105 @@
+#include "autonomic/controller.hpp"
+
+#include <algorithm>
+
+#include "events/listener.hpp"
+
+namespace askel {
+
+AutonomicController::AutonomicController(ResizableThreadPool& pool,
+                                         TrackerSet& trackers, const Clock* clock,
+                                         ControllerConfig cfg)
+    : pool_(pool), trackers_(trackers), clock_(clock), cfg_(cfg) {}
+
+void AutonomicController::arm(Duration wct_goal_seconds, int max_lp) {
+  std::lock_guard lock(mu_);
+  armed_ = true;
+  goal_abs_ = clock_->now() + wct_goal_seconds;
+  max_lp_goal_ = max_lp;
+  last_eval_ = -1.0;
+  last_reason_ = DecisionReason::kEmptySnapshot;
+  evaluations_ = 0;
+  actions_.clear();
+}
+
+void AutonomicController::disarm() {
+  std::lock_guard lock(mu_);
+  armed_ = false;
+}
+
+bool AutonomicController::armed() const {
+  std::lock_guard lock(mu_);
+  return armed_;
+}
+
+TimePoint AutonomicController::goal_abs() const {
+  std::lock_guard lock(mu_);
+  return goal_abs_;
+}
+
+int AutonomicController::effective_max_lp() const {
+  return max_lp_goal_ > 0 ? std::min(max_lp_goal_, pool_.max_lp()) : pool_.max_lp();
+}
+
+EventBus::ListenerPtr AutonomicController::as_listener() {
+  return std::make_shared<ObserverListener>([this](const Event& ev) { on_event(ev); });
+}
+
+void AutonomicController::on_event(const Event& ev) {
+  if (ev.when != When::kAfter) return;
+  // Re-estimate when a muscle completes — that is when estimates change.
+  switch (ev.where) {
+    case Where::kExecute:
+    case Where::kSplit:
+    case Where::kMerge:
+    case Where::kCondition:
+      break;
+    default:
+      return;
+  }
+  std::unique_lock lock(mu_, std::try_to_lock);
+  // Evaluations are serialized; a concurrent one already reflects fresher
+  // tracker state than this event, so skipping is safe.
+  if (!lock.owns_lock()) return;
+  if (!armed_) return;
+  const TimePoint now = clock_->now();
+  // Throttle only actionable evaluations: while estimates are still warming
+  // up, the very next event may be the one that completes them (the first
+  // merge in the paper's scenario 1), and it must be evaluated immediately.
+  const bool warming = last_reason_ == DecisionReason::kIncompleteEstimates ||
+                       last_reason_ == DecisionReason::kEmptySnapshot;
+  if (!warming && last_eval_ >= 0.0 && now - last_eval_ < cfg_.min_interval) return;
+  evaluate_locked(now);
+}
+
+Decision AutonomicController::evaluate_now() {
+  std::lock_guard lock(mu_);
+  return evaluate_locked(clock_->now());
+}
+
+Decision AutonomicController::evaluate_locked(TimePoint now) {
+  last_eval_ = now;
+  ++evaluations_;
+  const AdgSnapshot g = trackers_.snapshot(now);
+  const int current = pool_.target_lp();
+  const Decision d = decide(g, goal_abs_, current, effective_max_lp(), cfg_.decision);
+  last_reason_ = d.reason;
+  if (d.new_lp != current) {
+    pool_.set_target_lp(d.new_lp);
+    actions_.push_back(Action{now, current, d.new_lp, d.reason, d.best_effort_wct,
+                              d.current_lp_wct});
+  }
+  return d;
+}
+
+std::vector<AutonomicController::Action> AutonomicController::actions() const {
+  std::lock_guard lock(mu_);
+  return actions_;
+}
+
+long AutonomicController::evaluations() const {
+  std::lock_guard lock(mu_);
+  return evaluations_;
+}
+
+}  // namespace askel

@@ -1,0 +1,87 @@
+#pragma once
+// AutonomicController: closes the MAPE loop.
+//
+// Monitor  — the TrackerSet listener mirrors the execution (events);
+// Analyze  — on every After-muscle event the controller snapshots the ADG and
+//            estimates best-effort / limited-LP completion times;
+// Plan     — decision.cpp picks the LP;
+// Execute  — ResizableThreadPool::set_target_lp applies it immediately.
+//
+// The controller is itself an event listener, so the adaptation targets "the
+// currently evaluated instance, and not the next execution of the whole
+// problem" (paper §4).
+
+#include <mutex>
+#include <vector>
+
+#include "autonomic/decision.hpp"
+#include "autonomic/goals.hpp"
+#include "est/registry.hpp"
+#include "events/event_bus.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sm/tracker_set.hpp"
+
+namespace askel {
+
+struct ControllerConfig {
+  DecisionConfig decision;
+  /// Minimum wall-clock spacing between evaluations (0 = evaluate on every
+  /// qualifying event; matches the paper's per-event reactivity).
+  Duration min_interval = 0.0;
+};
+
+class AutonomicController {
+ public:
+  AutonomicController(ResizableThreadPool& pool, TrackerSet& trackers,
+                      const Clock* clock = &default_clock(),
+                      ControllerConfig cfg = {});
+
+  /// Arm with a WCT goal anchored at `clock.now()`. `max_lp` 0 = pool max.
+  void arm(Duration wct_goal_seconds, int max_lp = 0);
+  void disarm();
+  bool armed() const;
+  TimePoint goal_abs() const;
+
+  /// Listener adapter; register AFTER the TrackerSet listener so the tracker
+  /// has ingested an event before the controller evaluates it.
+  EventBus::ListenerPtr as_listener();
+
+  /// Feed one event (normally via the bus).
+  void on_event(const Event& ev);
+
+  /// Force one evaluation now (used by tests and by callers with their own
+  /// triggering policy).
+  Decision evaluate_now();
+
+  /// One record per applied LP change.
+  struct Action {
+    TimePoint t = 0.0;
+    int from_lp = 0;
+    int to_lp = 0;
+    DecisionReason reason = DecisionReason::kNoChange;
+    TimePoint best_effort_wct = 0.0;
+    TimePoint current_lp_wct = 0.0;
+  };
+  std::vector<Action> actions() const;
+  long evaluations() const;
+
+ private:
+  Decision evaluate_locked(TimePoint now);
+  int effective_max_lp() const;
+
+  ResizableThreadPool& pool_;
+  TrackerSet& trackers_;
+  const Clock* clock_;
+  ControllerConfig cfg_;
+
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  TimePoint goal_abs_ = 0.0;
+  int max_lp_goal_ = 0;
+  TimePoint last_eval_ = -1.0;
+  DecisionReason last_reason_ = DecisionReason::kEmptySnapshot;
+  long evaluations_ = 0;
+  std::vector<Action> actions_;
+};
+
+}  // namespace askel

@@ -1,0 +1,112 @@
+#include "autonomic/decision.hpp"
+
+#include <algorithm>
+
+#include "adg/best_effort.hpp"
+#include "adg/limited_lp.hpp"
+#include "adg/timeline.hpp"
+
+namespace askel {
+
+std::string to_string(DecisionReason r) {
+  switch (r) {
+    case DecisionReason::kNoChange: return "no-change";
+    case DecisionReason::kIncompleteEstimates: return "incomplete-estimates";
+    case DecisionReason::kEmptySnapshot: return "empty-snapshot";
+    case DecisionReason::kUnachievableRamp: return "unachievable-ramp";
+    case DecisionReason::kIncreaseToGoal: return "increase-to-goal";
+    case DecisionReason::kIncreaseSaturated: return "increase-saturated";
+    case DecisionReason::kDecreaseHalf: return "decrease-half";
+  }
+  return "?";
+}
+
+Decision decide(const AdgSnapshot& g, TimePoint goal_abs, int current_lp,
+                int max_lp, const DecisionConfig& cfg) {
+  Decision d;
+  d.new_lp = current_lp;
+  if (g.activities.empty()) {
+    d.reason = DecisionReason::kEmptySnapshot;
+    return d;
+  }
+  if (!g.complete_estimates) {
+    // "The system has to wait until all muscles have been executed at least
+    // once" (or been initialized) before it can reason about the future.
+    d.reason = DecisionReason::kIncompleteEstimates;
+    return d;
+  }
+
+  const Schedule be = best_effort(g);
+  d.best_effort_wct = be.wct;
+  d.optimal_lp = std::max(1, peak_concurrency(concurrency_profile(be)));
+  d.current_lp_wct = estimate_wct(g, current_lp, cfg.wct_algorithm);
+
+  if (be.wct > goal_abs) {
+    // Even infinite parallelism misses the goal: allocate toward the optimal
+    // LP (more threads than that cannot help), ramping so that refining
+    // estimates keep the allocation honest. The allocation always covers the
+    // READY frontier — pending activities that could start right now — since
+    // serializing ready work would lengthen the critical path for certain
+    // (the paper's §5 discussion of the "extra split execution" worst case).
+    int ready_width = 0;
+    for (const Activity& a : g.activities) {
+      if (a.state == ActivityState::kRunning) {
+        ++ready_width;
+        continue;
+      }
+      if (a.state != ActivityState::kPending) continue;
+      bool ready = true;
+      for (const int p : a.preds) {
+        if (g.activities[p].state != ActivityState::kDone) {
+          ready = false;
+          break;
+        }
+      }
+      ready_width += ready;
+    }
+    const int target = std::min(d.optimal_lp, max_lp);
+    int next = target;
+    if (cfg.ramp_factor > 1) {
+      next = std::min(target, std::max({current_lp + 1,
+                                        current_lp * cfg.ramp_factor,
+                                        ready_width}));
+    }
+    if (next > current_lp) {
+      d.new_lp = next;
+      d.reason = DecisionReason::kUnachievableRamp;
+    } else {
+      d.reason = DecisionReason::kNoChange;
+    }
+    return d;
+  }
+
+  if (d.current_lp_wct > goal_abs) {
+    // Achievable with more threads: smallest LP that meets the goal.
+    // (Limited-LP WCT is non-increasing in LP under the paper's assumption
+    // of non-strictly-increasing speedup, so first hit = smallest.)
+    for (int k = current_lp + 1; k <= max_lp; ++k) {
+      if (estimate_wct(g, k, cfg.wct_algorithm) <= goal_abs) {
+        d.new_lp = k;
+        d.reason = DecisionReason::kIncreaseToGoal;
+        return d;
+      }
+    }
+    d.new_lp = std::max(current_lp, std::min(d.optimal_lp, max_lp));
+    d.reason = d.new_lp > current_lp ? DecisionReason::kIncreaseSaturated
+                                     : DecisionReason::kNoChange;
+    return d;
+  }
+
+  if (cfg.allow_decrease && current_lp > 1) {
+    const int half = std::max(1, current_lp / 2);
+    if (estimate_wct(g, half, cfg.wct_algorithm) <= goal_abs) {
+      d.new_lp = half;
+      d.reason = DecisionReason::kDecreaseHalf;
+      return d;
+    }
+  }
+  d.reason = DecisionReason::kNoChange;
+  return d;
+}
+
+}  // namespace askel

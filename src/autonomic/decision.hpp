@@ -1,0 +1,62 @@
+#pragma once
+// The LP decision policy, as a pure function of an ADG snapshot — fully
+// deterministic and unit-testable without threads.
+//
+// Paper §4:
+//  * increase: "the algorithm to calculate the optimal WCT is a greedy one,
+//    while the algorithm to calculate the minimal number of threads to
+//    guarantee a WCT goal is NP-Complete" — we greedily search the smallest
+//    LP whose limited-LP WCT meets the goal;
+//  * when even infinite LP misses the goal, we ramp toward the optimal LP
+//    (the best-effort concurrency peak) multiplicatively, which reproduces
+//    the paper's gradual thread ramp as estimates refine;
+//  * decrease: "first checks if the goal could be targeted using half of the
+//    threads; if it can, it decreases the number of threads to the half" —
+//    deliberately slower than the increase path.
+
+#include "adg/bounds.hpp"
+#include "adg/snapshot.hpp"
+
+namespace askel {
+
+enum class DecisionReason : int {
+  kNoChange,           // current LP already meets the goal, half would not
+  kIncompleteEstimates,// some muscle never observed: wait (paper §4)
+  kEmptySnapshot,      // nothing tracked yet
+  kUnachievableRamp,   // goal missed even best-effort: ramp toward optimal LP
+  kIncreaseToGoal,     // smallest LP meeting the goal
+  kIncreaseSaturated,  // no LP <= max meets the goal: use min(optimal, max)
+  kDecreaseHalf,       // half the threads still meet the goal
+};
+
+std::string to_string(DecisionReason r);
+
+struct DecisionConfig {
+  /// Multiplicative step used on the unachievable path (1 disables ramping
+  /// and jumps straight to min(optimal LP, max) — an ablation knob).
+  /// 3 matches the paper's observed first step (1 → 3 at 7.6 s in Fig. 5).
+  int ramp_factor = 3;
+  /// Disable the halving decrease (ablation knob).
+  bool allow_decrease = true;
+  /// How limited-LP completion times are estimated: the paper's greedy list
+  /// schedule, or the O(V+E) Graham bound (optimistic — may under-allocate;
+  /// see the wct_algorithms bench for the accuracy/overhead trade-off).
+  WctAlgorithm wct_algorithm = WctAlgorithm::kListSchedule;
+};
+
+struct Decision {
+  int new_lp = 1;
+  DecisionReason reason = DecisionReason::kNoChange;
+  /// Best-effort (infinite LP) completion estimate, absolute time.
+  TimePoint best_effort_wct = 0.0;
+  /// Limited-LP completion estimate at the *current* LP, absolute time.
+  TimePoint current_lp_wct = 0.0;
+  /// Peak concurrency of the best-effort schedule (the paper's optimal LP).
+  int optimal_lp = 0;
+};
+
+/// Decide the LP for a snapshot given the absolute-time goal.
+Decision decide(const AdgSnapshot& g, TimePoint goal_abs, int current_lp,
+                int max_lp, const DecisionConfig& cfg = {});
+
+}  // namespace askel

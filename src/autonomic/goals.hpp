@@ -1,0 +1,22 @@
+#pragma once
+// QoS goals supported by the autonomic layer (paper §4): Wall Clock Time and
+// Level of Parallelism. "If the system realizes that it won't target the WCT
+// goal with the current LP, but it will do if the LP is increased, it
+// autonomically increases the LP... To avoid potential overloading of the
+// system, it is possible to define a maximum LP."
+
+#include <optional>
+
+#include "util/clock.hpp"
+
+namespace askel {
+
+struct QoSGoals {
+  /// Desired wall-clock time for one skeleton execution, in seconds relative
+  /// to the moment the controller is armed.
+  Duration wct_goal = 0.0;
+  /// Hard LP ceiling. 0 means "use the pool's max_lp".
+  int max_lp = 0;
+};
+
+}  // namespace askel

@@ -1,0 +1,3 @@
+#include "est/muscle_stats.hpp"
+
+// MuscleStats is header-only; this TU anchors the target's object file.

@@ -1,0 +1,177 @@
+#include "est/registry.hpp"
+
+namespace askel {
+
+std::int64_t estimate_key(int muscle_id, int depth) {
+  // Depths are small (trace length); bias by 1 so kAnyDepth maps to 0.
+  return (static_cast<std::int64_t>(muscle_id) << 20) |
+         static_cast<std::int64_t>(depth + 1);
+}
+
+int estimate_key_muscle(std::int64_t key) { return static_cast<int>(key >> 20); }
+
+int estimate_key_depth(std::int64_t key) {
+  return static_cast<int>(key & 0xFFFFF) - 1;
+}
+
+// -------------------------------------------------------------- Estimates --
+
+std::optional<double> Estimates::t(int muscle_id) const {
+  const auto it = entries_.find(estimate_key(muscle_id, kAnyDepth));
+  return it == entries_.end() ? std::nullopt : it->second.t;
+}
+
+std::optional<double> Estimates::cardinality(int muscle_id) const {
+  const auto it = entries_.find(estimate_key(muscle_id, kAnyDepth));
+  return it == entries_.end() ? std::nullopt : it->second.card;
+}
+
+double Estimates::t_or(int muscle_id, double fallback) const {
+  return t(muscle_id).value_or(fallback);
+}
+
+double Estimates::cardinality_or(int muscle_id, double fallback) const {
+  return cardinality(muscle_id).value_or(fallback);
+}
+
+std::optional<double> Estimates::t(int muscle_id, int depth) const {
+  if (scope_ == EstimationScope::kPerDepth) {
+    const auto it = entries_.find(estimate_key(muscle_id, depth));
+    if (it != entries_.end() && it->second.t) return it->second.t;
+  }
+  return t(muscle_id);
+}
+
+std::optional<double> Estimates::cardinality(int muscle_id, int depth) const {
+  if (scope_ == EstimationScope::kPerDepth) {
+    const auto it = entries_.find(estimate_key(muscle_id, depth));
+    if (it != entries_.end() && it->second.card) return it->second.card;
+  }
+  return cardinality(muscle_id);
+}
+
+void Estimates::set(int muscle_id, Entry e) {
+  entries_[estimate_key(muscle_id, kAnyDepth)] = e;
+}
+
+void Estimates::set(int muscle_id, int depth, Entry e) {
+  entries_[estimate_key(muscle_id, depth)] = e;
+}
+
+// ------------------------------------------------------- EstimateRegistry --
+
+EstimateRegistry::EstimateRegistry(double rho, EstimationScope scope)
+    : rho_(rho), scope_(scope) {}
+
+MuscleStats& EstimateRegistry::stats_locked(std::int64_t key) {
+  return stats_.try_emplace(key, rho_).first->second;
+}
+
+void EstimateRegistry::observe_duration(int muscle_id, int depth, double seconds) {
+  std::lock_guard lock(mu_);
+  stats_locked(estimate_key(muscle_id, kAnyDepth)).observe_duration(seconds);
+  if (depth != kAnyDepth)
+    stats_locked(estimate_key(muscle_id, depth)).observe_duration(seconds);
+}
+
+void EstimateRegistry::observe_cardinality(int muscle_id, int depth, double card) {
+  std::lock_guard lock(mu_);
+  stats_locked(estimate_key(muscle_id, kAnyDepth)).observe_cardinality(card);
+  if (depth != kAnyDepth)
+    stats_locked(estimate_key(muscle_id, depth)).observe_cardinality(card);
+}
+
+void EstimateRegistry::observe_duration(int muscle_id, double seconds) {
+  observe_duration(muscle_id, kAnyDepth, seconds);
+}
+
+void EstimateRegistry::observe_cardinality(int muscle_id, double card) {
+  observe_cardinality(muscle_id, kAnyDepth, card);
+}
+
+void EstimateRegistry::init_duration(int muscle_id, double seconds) {
+  init_duration(muscle_id, kAnyDepth, seconds);
+}
+
+void EstimateRegistry::init_cardinality(int muscle_id, double card) {
+  init_cardinality(muscle_id, kAnyDepth, card);
+}
+
+void EstimateRegistry::init_duration(int muscle_id, int depth, double seconds) {
+  std::lock_guard lock(mu_);
+  stats_locked(estimate_key(muscle_id, depth)).init_duration(seconds);
+}
+
+void EstimateRegistry::init_cardinality(int muscle_id, int depth, double card) {
+  std::lock_guard lock(mu_);
+  stats_locked(estimate_key(muscle_id, depth)).init_cardinality(card);
+}
+
+void EstimateRegistry::init_from(const Estimates& previous) {
+  std::lock_guard lock(mu_);
+  for (const auto& [key, entry] : previous.entries()) {
+    MuscleStats& s = stats_locked(key);
+    if (entry.t) s.init_duration(*entry.t);
+    if (entry.card) s.init_cardinality(*entry.card);
+  }
+}
+
+std::optional<double> EstimateRegistry::t_locked(std::int64_t key) const {
+  const auto it = stats_.find(key);
+  return it == stats_.end() ? std::nullopt : it->second.t();
+}
+
+std::optional<double> EstimateRegistry::card_locked(std::int64_t key) const {
+  const auto it = stats_.find(key);
+  return it == stats_.end() ? std::nullopt : it->second.cardinality();
+}
+
+std::optional<double> EstimateRegistry::t(int muscle_id) const {
+  std::lock_guard lock(mu_);
+  return t_locked(estimate_key(muscle_id, kAnyDepth));
+}
+
+std::optional<double> EstimateRegistry::cardinality(int muscle_id) const {
+  std::lock_guard lock(mu_);
+  return card_locked(estimate_key(muscle_id, kAnyDepth));
+}
+
+std::optional<double> EstimateRegistry::t(int muscle_id, int depth) const {
+  std::lock_guard lock(mu_);
+  if (scope_ == EstimationScope::kPerDepth) {
+    if (const auto v = t_locked(estimate_key(muscle_id, depth))) return v;
+  }
+  return t_locked(estimate_key(muscle_id, kAnyDepth));
+}
+
+std::optional<double> EstimateRegistry::cardinality(int muscle_id, int depth) const {
+  std::lock_guard lock(mu_);
+  if (scope_ == EstimationScope::kPerDepth) {
+    if (const auto v = card_locked(estimate_key(muscle_id, depth))) return v;
+  }
+  return card_locked(estimate_key(muscle_id, kAnyDepth));
+}
+
+Estimates EstimateRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Estimates out;
+  out.set_scope(scope_);
+  for (const auto& [key, st] : stats_) {
+    // Reconstruct (id, depth) from the composite key.
+    const int id = estimate_key_muscle(key);
+    const int depth = estimate_key_depth(key);
+    if (depth == kAnyDepth) {
+      out.set(id, Estimates::Entry{st.t(), st.cardinality()});
+    } else {
+      out.set(id, depth, Estimates::Entry{st.t(), st.cardinality()});
+    }
+  }
+  return out;
+}
+
+void EstimateRegistry::clear() {
+  std::lock_guard lock(mu_);
+  stats_.clear();
+}
+
+}  // namespace askel

@@ -1,0 +1,125 @@
+#pragma once
+// Thread-safe registry of muscle estimates, keyed by muscle id.
+//
+// Writers are the state machines (on After events, from worker threads);
+// readers are the ADG expansion and the autonomic controller. Readers take a
+// consistent `Estimates` snapshot so a whole scheduling computation sees one
+// coherent set of values.
+//
+// Two estimation scopes are supported:
+//  * kAggregate (the paper's Skandium v1.1b1): one t(m)/|m| per muscle
+//    object. Sharing a muscle across nesting levels (Listing 1 shares fs and
+//    fm) deliberately shares — and conflates — its estimate.
+//  * kPerDepth (this repo's implementation of the paper's §6 future work on
+//    "different WCT estimation algorithms"): estimates are additionally kept
+//    per dynamic nesting depth, and lookups prefer the depth-specific value.
+//    This eliminates the outer-vs-inner split conflation of the §5 workload.
+//
+// Observations always record BOTH layers, so the scope can be chosen at
+// lookup time and snapshots carry everything.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "est/muscle_stats.hpp"
+
+namespace askel {
+
+enum class EstimationScope : int {
+  kAggregate,  // per-muscle (the paper's implementation)
+  kPerDepth,   // per (muscle, nesting depth), falling back to aggregate
+};
+
+/// Depth value representing the aggregate (depth-less) layer.
+inline constexpr int kAnyDepth = -1;
+
+/// Composite key: (muscle id, depth). Depth kAnyDepth = aggregate layer.
+std::int64_t estimate_key(int muscle_id, int depth);
+/// Inverse of estimate_key.
+int estimate_key_muscle(std::int64_t key);
+int estimate_key_depth(std::int64_t key);
+
+/// Immutable value snapshot of the registry.
+class Estimates {
+ public:
+  struct Entry {
+    std::optional<double> t;
+    std::optional<double> card;
+  };
+
+  /// Aggregate lookups (depth-less).
+  std::optional<double> t(int muscle_id) const;
+  std::optional<double> cardinality(int muscle_id) const;
+  double t_or(int muscle_id, double fallback) const;
+  double cardinality_or(int muscle_id, double fallback) const;
+  bool has_t(int muscle_id) const { return t(muscle_id).has_value(); }
+
+  /// Depth-aware lookups: per-depth value when the snapshot's scope is
+  /// kPerDepth and one exists, else the aggregate value.
+  std::optional<double> t(int muscle_id, int depth) const;
+  std::optional<double> cardinality(int muscle_id, int depth) const;
+
+  /// Store an aggregate entry (tests and hand-built estimate sets).
+  void set(int muscle_id, Entry e);
+  /// Store a depth-specific entry.
+  void set(int muscle_id, int depth, Entry e);
+
+  EstimationScope scope() const { return scope_; }
+  void set_scope(EstimationScope s) { scope_ = s; }
+
+  std::size_t size() const { return entries_.size(); }
+  const std::unordered_map<std::int64_t, Entry>& entries() const { return entries_; }
+
+ private:
+  EstimationScope scope_ = EstimationScope::kAggregate;
+  std::unordered_map<std::int64_t, Entry> entries_;
+};
+
+class EstimateRegistry {
+ public:
+  /// `rho` is the smoothing parameter applied to every muscle's EWMAs.
+  explicit EstimateRegistry(double rho = 0.5,
+                            EstimationScope scope = EstimationScope::kAggregate);
+
+  /// Record an observation at a known nesting depth (both layers updated).
+  void observe_duration(int muscle_id, int depth, double seconds);
+  void observe_cardinality(int muscle_id, int depth, double card);
+  /// Depth-less convenience (updates only the aggregate layer).
+  void observe_duration(int muscle_id, double seconds);
+  void observe_cardinality(int muscle_id, double card);
+
+  /// Paper scenario 2 ("Goal with initialization"): seed estimates, e.g.
+  /// from a previous run exported with `snapshot()`.
+  void init_duration(int muscle_id, double seconds);
+  void init_cardinality(int muscle_id, double card);
+  void init_duration(int muscle_id, int depth, double seconds);
+  void init_cardinality(int muscle_id, int depth, double card);
+  /// Seed every estimate present in `previous` (both layers).
+  void init_from(const Estimates& previous);
+
+  std::optional<double> t(int muscle_id) const;
+  std::optional<double> cardinality(int muscle_id) const;
+  std::optional<double> t(int muscle_id, int depth) const;
+  std::optional<double> cardinality(int muscle_id, int depth) const;
+
+  Estimates snapshot() const;
+  double rho() const { return rho_; }
+  EstimationScope scope() const { return scope_; }
+  void clear();
+
+ private:
+  MuscleStats& stats_locked(std::int64_t key);
+  std::optional<double> t_locked(std::int64_t key) const;
+  std::optional<double> card_locked(std::int64_t key) const;
+
+  double rho_;
+  EstimationScope scope_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::int64_t, MuscleStats> stats_;
+};
+
+}  // namespace askel

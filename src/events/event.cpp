@@ -1,0 +1,25 @@
+#include "events/event.hpp"
+
+namespace askel {
+
+std::string to_string(When w) {
+  switch (w) {
+    case When::kBefore: return "BEFORE";
+    case When::kAfter: return "AFTER";
+  }
+  return "?";
+}
+
+std::string to_string(Where w) {
+  switch (w) {
+    case Where::kSkeleton: return "SKELETON";
+    case Where::kSplit: return "SPLIT";
+    case Where::kMerge: return "MERGE";
+    case Where::kCondition: return "CONDITION";
+    case Where::kNested: return "NESTED";
+    case Where::kExecute: return "EXECUTE";
+  }
+  return "?";
+}
+
+}  // namespace askel

@@ -1,0 +1,41 @@
+#include "events/event_bus.hpp"
+
+#include <algorithm>
+
+namespace askel {
+
+std::uint64_t EventBus::add_listener(ListenerPtr listener) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_id_++;
+  entries_.push_back(Entry{id, std::move(listener)});
+  return id;
+}
+
+bool EventBus::remove_listener(std::uint64_t id) {
+  std::lock_guard lock(mu_);
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [id](const Entry& e) { return e.id == id; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::size_t EventBus::listener_count() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+std::any EventBus::dispatch(std::any param, const Event& ev) const {
+  std::vector<ListenerPtr> snapshot;
+  {
+    std::lock_guard lock(mu_);
+    snapshot.reserve(entries_.size());
+    for (const Entry& e : entries_) snapshot.push_back(e.listener);
+  }
+  for (const ListenerPtr& l : snapshot) {
+    if (l->accepts(ev)) param = l->handle(std::move(param), ev);
+  }
+  return param;
+}
+
+}  // namespace askel

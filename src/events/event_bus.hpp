@@ -1,0 +1,41 @@
+#pragma once
+// Listener registry + synchronous dispatch.
+//
+// Dispatch happens on whichever worker thread emits the event; listeners are
+// invoked in registration order and each may replace the partial solution.
+// Registration/removal is safe concurrently with dispatch (dispatch works on
+// a snapshot of the listener list).
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "events/listener.hpp"
+
+namespace askel {
+
+class EventBus {
+ public:
+  using ListenerPtr = std::shared_ptr<Listener>;
+
+  /// Register a listener; returns an id usable with remove_listener.
+  std::uint64_t add_listener(ListenerPtr listener);
+  /// Remove a previously registered listener. Returns false if unknown.
+  bool remove_listener(std::uint64_t id);
+  std::size_t listener_count() const;
+
+  /// Invoke every accepting listener in registration order, threading the
+  /// partial solution through them. Returns the final partial solution.
+  std::any dispatch(std::any param, const Event& ev) const;
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    ListenerPtr listener;
+  };
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace askel

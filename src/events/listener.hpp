@@ -1,0 +1,73 @@
+#pragma once
+// Listener interfaces (paper §3, Listing 2).
+//
+// A listener receives the partial solution by value and returns it (possibly
+// replaced) — this is what lets non-functional code rewrite data in flight
+// ("which could be very useful on non-functional concerns like encryption
+// during communication").
+
+#include <any>
+#include <functional>
+
+#include "events/event.hpp"
+
+namespace askel {
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Cheap filter evaluated before `handle`; return false to skip.
+  virtual bool accepts(const Event&) const { return true; }
+
+  /// Observe the event; return the (possibly replaced) partial solution.
+  virtual std::any handle(std::any param, const Event& ev) = 0;
+};
+
+/// Listener from a plain function — the "generic listener" of Listing 2.
+class GenericListener final : public Listener {
+ public:
+  using Fn = std::function<std::any(std::any, const Event&)>;
+  explicit GenericListener(Fn fn) : fn_(std::move(fn)) {}
+  std::any handle(std::any param, const Event& ev) override {
+    return fn_(std::move(param), ev);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Listener filtered to one (when, where) pair.
+class FilteredListener final : public Listener {
+ public:
+  using Fn = std::function<std::any(std::any, const Event&)>;
+  FilteredListener(When when, Where where, Fn fn)
+      : when_(when), where_(where), fn_(std::move(fn)) {}
+  bool accepts(const Event& ev) const override {
+    return ev.when == when_ && ev.where == where_;
+  }
+  std::any handle(std::any param, const Event& ev) override {
+    return fn_(std::move(param), ev);
+  }
+
+ private:
+  When when_;
+  Where where_;
+  Fn fn_;
+};
+
+/// Observe-only listener (never touches the partial solution).
+class ObserverListener final : public Listener {
+ public:
+  using Fn = std::function<void(const Event&)>;
+  explicit ObserverListener(Fn fn) : fn_(std::move(fn)) {}
+  std::any handle(std::any param, const Event& ev) override {
+    fn_(ev);
+    return param;
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace askel

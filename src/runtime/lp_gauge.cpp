@@ -1,0 +1,27 @@
+#include "runtime/lp_gauge.hpp"
+
+namespace askel {
+
+LpGauge::LpGauge(const Clock* clock) : clock_(clock) {}
+
+void LpGauge::task_started() {
+  const int now_busy = busy_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  int prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now_busy > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now_busy, std::memory_order_acq_rel)) {
+  }
+  series_.record(clock_->now(), now_busy);
+}
+
+void LpGauge::task_finished() {
+  const int now_busy = busy_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  series_.record(clock_->now(), now_busy);
+}
+
+void LpGauge::reset() {
+  busy_.store(0, std::memory_order_release);
+  peak_.store(0, std::memory_order_release);
+  series_.clear();
+}
+
+}  // namespace askel

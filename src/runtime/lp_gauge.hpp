@@ -1,0 +1,54 @@
+#pragma once
+// Gauge of concurrently busy worker threads.
+//
+// "Number of Active Threads" on the y-axis of the paper's Figures 2, 5, 6
+// and 7 is exactly this gauge: how many pool workers are executing a task at
+// a given wall-clock instant. Every change is recorded into a TimeSeries so a
+// finished run can be rendered as the paper's step plots.
+
+#include <atomic>
+
+#include "util/clock.hpp"
+#include "util/time_series.hpp"
+
+namespace askel {
+
+class LpGauge {
+ public:
+  explicit LpGauge(const Clock* clock = &default_clock());
+
+  /// A worker started executing a task.
+  void task_started();
+  /// A worker finished executing a task.
+  void task_finished();
+
+  /// Currently busy workers.
+  int busy() const { return busy_.load(std::memory_order_acquire); }
+  /// Highest concurrency observed since construction/reset.
+  int peak() const { return peak_.load(std::memory_order_acquire); }
+
+  /// Full (time, busy) history. Time is in the gauge clock's epoch.
+  const TimeSeries& series() const { return series_; }
+
+  void reset();
+
+ private:
+  const Clock* clock_;
+  std::atomic<int> busy_{0};
+  std::atomic<int> peak_{0};
+  TimeSeries series_;
+};
+
+/// RAII helper marking the enclosing scope as a busy interval on the gauge.
+class BusyScope {
+ public:
+  explicit BusyScope(LpGauge& gauge) : gauge_(gauge) { gauge_.task_started(); }
+  ~BusyScope() { gauge_.task_finished(); }
+  BusyScope(const BusyScope&) = delete;
+  BusyScope& operator=(const BusyScope&) = delete;
+
+ private:
+  LpGauge& gauge_;
+};
+
+}  // namespace askel

@@ -1,0 +1,10 @@
+#pragma once
+// Task type executed by the pool: a move-only thunk.
+
+#include <functional>
+
+namespace askel {
+
+using Task = std::function<void()>;
+
+}  // namespace askel

@@ -1,0 +1,155 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace askel {
+
+ResizableThreadPool::ResizableThreadPool(int initial_lp, int max_lp, const Clock* clock)
+    : clock_(clock), max_lp_(std::max(1, max_lp)), gauge_(clock) {
+  std::lock_guard lock(mu_);
+  target_lp_ = std::clamp(initial_lp, 1, max_lp_);
+  requested_lp_ = target_lp_;
+  lp_history_.record(clock_->now(), target_lp_);
+  spawn_locked(target_lp_);
+}
+
+ResizableThreadPool::~ResizableThreadPool() {
+  // Cancel pending provisioning first (jthread dtor requests stop + joins).
+  provision_timers_.clear();
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ResizableThreadPool::submit(Task task) {
+  {
+    std::lock_guard lock(mu_);
+    assert(!stopping_ && "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int ResizableThreadPool::set_target_lp(int n) {
+  const int clamped = std::clamp(n, 1, max_lp_);
+  Duration delay = 0.0;
+  {
+    std::lock_guard lock(mu_);
+    if (clamped == requested_lp_ && clamped == target_lp_) return clamped;
+    requested_lp_ = clamped;
+    if (provision_delay_ > 0.0 && clamped > target_lp_) {
+      delay = provision_delay_;
+    } else {
+      apply_target_locked(clamped);
+    }
+  }
+  if (delay > 0.0) {
+    // Simulated remote-worker join: the effective LP catches up with the
+    // requested one only after `delay`.
+    std::lock_guard lock(mu_);
+    if (stopping_) return clamped;
+    provision_timers_.emplace_back([this, clamped, delay](std::stop_token st) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::duration<double>(delay);
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (st.stop_requested()) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      {
+        std::lock_guard lock(mu_);
+        // A stale join must not exceed the latest request nor shrink a
+        // larger effective value.
+        if (stopping_ || clamped <= target_lp_ || clamped > requested_lp_) return;
+        apply_target_locked(clamped);
+      }
+      cv_.notify_all();
+    });
+    return clamped;
+  }
+  cv_.notify_all();
+  return clamped;
+}
+
+int ResizableThreadPool::apply_target_locked(int n) {
+  target_lp_ = n;
+  lp_history_.record(clock_->now(), n);
+  const int want = n - static_cast<int>(workers_.size());
+  if (want > 0) spawn_locked(want);
+  return n;
+}
+
+void ResizableThreadPool::set_provision_delay(Duration d) {
+  std::lock_guard lock(mu_);
+  provision_delay_ = std::max(0.0, d);
+}
+
+Duration ResizableThreadPool::provision_delay() const {
+  std::lock_guard lock(mu_);
+  return provision_delay_;
+}
+
+int ResizableThreadPool::target_lp() const {
+  std::lock_guard lock(mu_);
+  return requested_lp_;
+}
+
+int ResizableThreadPool::effective_lp() const {
+  std::lock_guard lock(mu_);
+  return target_lp_;
+}
+
+int ResizableThreadPool::spawned_workers() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+std::size_t ResizableThreadPool::queued() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+void ResizableThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void ResizableThreadPool::spawn_locked(int count) {
+  for (int k = 0; k < count; ++k) {
+    const int index = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, index] { worker_loop(index); });
+  }
+}
+
+void ResizableThreadPool::worker_loop(int index) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    // A worker is runnable when its index is below the current target; the
+    // lowest-indexed workers always win, so shrink parks the newest ones.
+    cv_.wait(lock, [&] {
+      return stopping_ || (index < target_lp_ && !queue_.empty());
+    });
+    if (stopping_) return;
+    // LIFO: newest task first. Skeleton children enqueue sub-tasks as they
+    // run, so LIFO yields depth-first execution — one map chunk completes
+    // (and its merge runs) before the next chunk starts when capacity is
+    // scarce. This matches the paper's §5 trace, where the first inner merge
+    // lands right after the first chunk (7.6 s), not after all splits.
+    Task task = std::move(queue_.back());
+    queue_.pop_back();
+    ++running_;
+    lock.unlock();
+    {
+      BusyScope busy(gauge_);
+      task();
+    }
+    lock.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace askel

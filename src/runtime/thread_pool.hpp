@@ -1,0 +1,107 @@
+#pragma once
+// Resizable worker pool: the "Level of Parallelism" (LP) actuator.
+//
+// Skandium's autonomic layer adjusts the number of threads allocated to a
+// skeleton while it runs. This pool supports that: `set_target_lp(n)` takes
+// effect immediately for idle workers and at the next task boundary for busy
+// ones (a running muscle is never interrupted — same semantics as the Java
+// original, where a thread is only parked between tasks).
+//
+// Invariants:
+//  * at most `target_lp()` workers execute tasks concurrently;
+//  * workers are spawned lazily, up to `max_lp`, and parked (not destroyed)
+//    when the target shrinks, so growing again is cheap;
+//  * tasks submitted from within tasks are allowed (the skeleton engine is
+//    continuation-passing and never blocks a worker on a future, so a pool
+//    with LP=1 still makes progress on arbitrarily nested skeletons).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/lp_gauge.hpp"
+#include "runtime/task.hpp"
+#include "util/clock.hpp"
+
+namespace askel {
+
+class ResizableThreadPool {
+ public:
+  /// Creates the pool with `initial_lp` runnable workers; `max_lp` bounds how
+  /// far the autonomic layer may ever grow it (the paper's "maximum LP" that
+  /// avoids overloading the system).
+  ResizableThreadPool(int initial_lp, int max_lp,
+                      const Clock* clock = &default_clock());
+  ~ResizableThreadPool();
+
+  ResizableThreadPool(const ResizableThreadPool&) = delete;
+  ResizableThreadPool& operator=(const ResizableThreadPool&) = delete;
+
+  /// Enqueue a task (executed in LIFO order: depth-first for nested
+  /// skeletons). Safe from any thread, including workers.
+  void submit(Task task);
+
+  /// Change the level of parallelism. Clamped to [1, max_lp]. Growing spawns
+  /// or unparks workers; shrinking parks surplus workers at their next task
+  /// boundary. Returns the clamped value actually applied (for a delayed
+  /// grow, the value that will eventually apply).
+  int set_target_lp(int n);
+
+  /// Simulated worker-provisioning delay (paper §6 future work: a
+  /// distributed backend adds workers "like adding threads", but a remote
+  /// worker takes time to join). With a non-zero delay, LP increases take
+  /// effect only after `d` seconds; decreases stay immediate (parking is
+  /// local). 0 (default) restores plain multicore semantics.
+  void set_provision_delay(Duration d);
+  Duration provision_delay() const;
+
+  /// Requested LP: what the last set_target_lp asked for. This is what the
+  /// controller reasons against (its own pending requests included).
+  int target_lp() const;
+  /// Effective LP: how many workers are runnable right now. Equal to
+  /// target_lp() except during a provisioning window.
+  int effective_lp() const;
+  int max_lp() const { return max_lp_; }
+  /// Number of OS threads created so far (parked workers included).
+  int spawned_workers() const;
+  /// Tasks waiting in the queue right now.
+  std::size_t queued() const;
+
+  /// Busy-worker gauge; feeds the Figures 5-7 "active threads" series.
+  LpGauge& gauge() { return gauge_; }
+  const LpGauge& gauge() const { return gauge_; }
+
+  /// Record of every LP target change: (time, new target). Useful in tests
+  /// and to overlay controller decisions on the thread-activity plots.
+  const TimeSeries& lp_history() const { return lp_history_; }
+
+  /// Block until the queue is empty and no worker is busy. Intended for
+  /// tests and examples; the skeleton engine uses per-execution futures.
+  void wait_idle();
+
+ private:
+  void worker_loop(int index);
+  void spawn_locked(int count);
+  int apply_target_locked(int n);
+
+  const Clock* clock_;
+  const int max_lp_;
+  LpGauge gauge_;
+  TimeSeries lp_history_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // workers wait for tasks / unpark
+  std::condition_variable idle_cv_;   // wait_idle()
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  std::vector<std::jthread> provision_timers_;
+  Duration provision_delay_ = 0.0;
+  int requested_lp_ = 1;
+  int target_lp_ = 1;  // effective: what the worker predicate enforces
+  int running_ = 0;  // workers currently executing a task
+  bool stopping_ = false;
+};
+
+}  // namespace askel

@@ -1,0 +1,32 @@
+#pragma once
+// Shared fan-out/fan-in machinery for map, fork and d&c.
+//
+// Each child writes its result into its own slot (no lock needed: slots are
+// disjoint and the atomic decrement orders the final read); the LAST child to
+// finish runs the merge muscle on its own thread, which is what makes the
+// paper's "handler runs on the muscle's thread" guarantee hold for merge
+// events too.
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "skel/node.hpp"
+
+namespace askel::detail {
+
+struct JoinState {
+  explicit JoinState(std::size_t n) : remaining(static_cast<int>(n)), results(n) {}
+  std::atomic<int> remaining;
+  AnyVec results;
+};
+
+using JoinPtr = std::shared_ptr<JoinState>;
+
+/// Deposit `value` in slot `index`; returns true iff this was the last child.
+inline bool arrive(const JoinPtr& join, std::size_t index, Any value) {
+  join->results[index] = std::move(value);
+  return join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+}  // namespace askel::detail

@@ -1,0 +1,40 @@
+#pragma once
+// Execution engine: binds a skeleton tree, a thread pool, an event bus and a
+// clock, and runs inputs through the tree.
+
+#include <memory>
+
+#include "events/event_bus.hpp"
+#include "runtime/thread_pool.hpp"
+#include "skel/future.hpp"
+#include "skel/node.hpp"
+
+namespace askel {
+
+class Engine {
+ public:
+  Engine(ResizableThreadPool& pool, EventBus& bus,
+         const Clock* clock = &default_clock());
+
+  /// Launch one execution of `root` on `input`. Returns immediately; the
+  /// computation proceeds on the pool. The returned future completes with
+  /// the result or the first muscle exception.
+  FuturePtr run(NodePtr root, Any input);
+
+  /// Context of the most recently launched run (null before the first run).
+  /// Exposed for the autonomic controller, which anchors its WCT goal at the
+  /// run's start time.
+  const CtxPtr& last_context() const { return last_ctx_; }
+
+  ResizableThreadPool& pool() { return pool_; }
+  EventBus& bus() { return bus_; }
+  const Clock& clock() const { return *clock_; }
+
+ private:
+  ResizableThreadPool& pool_;
+  EventBus& bus_;
+  const Clock* clock_;
+  CtxPtr last_ctx_;
+};
+
+}  // namespace askel

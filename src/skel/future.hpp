@@ -1,0 +1,98 @@
+#pragma once
+// Future returned by Skeleton::input (the paper's Listing 1:
+// `Future<R> future = mainSkeleton.input(new P(...)); ... future.get();`).
+//
+// Only the external caller ever blocks on a future — pool workers never do
+// (the engine is continuation-passing), so futures cannot deadlock the pool.
+
+#include <any>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "util/clock.hpp"
+
+namespace askel {
+
+/// Untyped shared completion state.
+class FutureState {
+ public:
+  /// First completion wins; later calls are ignored (a failed execution may
+  /// race a concurrent success on another branch).
+  void set_value(std::any v);
+  void set_error(std::exception_ptr e);
+
+  /// Block until completed; rethrows on error.
+  std::any get();
+  /// Wait up to `seconds`; true iff completed.
+  bool wait_for(Duration seconds);
+  bool ready() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::any value_;
+  std::exception_ptr error_;
+};
+
+using FuturePtr = std::shared_ptr<FutureState>;
+
+/// Typed view over a FutureState.
+template <class R>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(FuturePtr state) : state_(std::move(state)) {}
+
+  /// Block for the result. Rethrows the muscle's exception on failure and
+  /// std::bad_any_cast if the skeleton produced a different type.
+  R get() { return std::any_cast<R>(state_->get()); }
+  bool wait_for(Duration seconds) { return state_->wait_for(seconds); }
+  bool ready() const { return state_ && state_->ready(); }
+  const FuturePtr& state() const { return state_; }
+
+ private:
+  FuturePtr state_;
+};
+
+inline void FutureState::set_value(std::any v) {
+  {
+    std::lock_guard lock(mu_);
+    if (done_) return;
+    value_ = std::move(v);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+inline void FutureState::set_error(std::exception_ptr e) {
+  {
+    std::lock_guard lock(mu_);
+    if (done_) return;
+    error_ = e;
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+inline std::any FutureState::get() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  if (error_) std::rethrow_exception(error_);
+  return value_;
+}
+
+inline bool FutureState::wait_for(Duration seconds) {
+  std::unique_lock lock(mu_);
+  return cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                      [&] { return done_; });
+}
+
+inline bool FutureState::ready() const {
+  std::lock_guard lock(mu_);
+  return done_;
+}
+
+}  // namespace askel

@@ -1,0 +1,28 @@
+#include "skel/muscle.hpp"
+
+#include <atomic>
+
+namespace askel {
+namespace {
+
+int next_muscle_id() {
+  static std::atomic<int> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string to_string(MuscleKind k) {
+  switch (k) {
+    case MuscleKind::kExecute: return "execute";
+    case MuscleKind::kSplit: return "split";
+    case MuscleKind::kMerge: return "merge";
+    case MuscleKind::kCondition: return "condition";
+  }
+  return "?";
+}
+
+Muscle::Muscle(MuscleKind kind, std::string name)
+    : kind_(kind), id_(next_muscle_id()), name_(std::move(name)) {}
+
+}  // namespace askel

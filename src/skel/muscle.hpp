@@ -1,0 +1,91 @@
+#pragma once
+// Muscles: the sequential blocks of business logic (paper §3).
+//
+// "Muscles come in four flavors: Execution fe : P → R; Split fs : P → {R};
+//  Merge fm : {P} → R; Condition fc : P → boolean."
+//
+// Internally data flows as std::any; the typed front-end in skel/typed.hpp
+// wraps user lambdas with the casts. Every muscle instance has a process-wide
+// unique id — the estimation registry (est/) keys t(m) and |m| by that id,
+// which is also why sharing one muscle object across nesting levels (as the
+// paper's Listing 1 does with fs and fm) shares its estimate.
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace askel {
+
+using Any = std::any;
+using AnyVec = std::vector<std::any>;
+
+enum class MuscleKind : int { kExecute, kSplit, kMerge, kCondition };
+
+std::string to_string(MuscleKind k);
+
+class Muscle {
+ public:
+  virtual ~Muscle() = default;
+
+  MuscleKind kind() const { return kind_; }
+  /// Process-wide unique id (estimation registry key).
+  int id() const { return id_; }
+  /// Human-readable label, e.g. "fs", used when printing ADG tables.
+  const std::string& name() const { return name_; }
+
+ protected:
+  Muscle(MuscleKind kind, std::string name);
+
+ private:
+  MuscleKind kind_;
+  int id_;
+  std::string name_;
+};
+
+class ExecuteMuscle final : public Muscle {
+ public:
+  using Fn = std::function<Any(Any)>;
+  ExecuteMuscle(std::string name, Fn fn)
+      : Muscle(MuscleKind::kExecute, std::move(name)), fn_(std::move(fn)) {}
+  Any invoke(Any p) const { return fn_(std::move(p)); }
+
+ private:
+  Fn fn_;
+};
+
+class SplitMuscle final : public Muscle {
+ public:
+  using Fn = std::function<AnyVec(Any)>;
+  SplitMuscle(std::string name, Fn fn)
+      : Muscle(MuscleKind::kSplit, std::move(name)), fn_(std::move(fn)) {}
+  AnyVec invoke(Any p) const { return fn_(std::move(p)); }
+
+ private:
+  Fn fn_;
+};
+
+class MergeMuscle final : public Muscle {
+ public:
+  using Fn = std::function<Any(AnyVec)>;
+  MergeMuscle(std::string name, Fn fn)
+      : Muscle(MuscleKind::kMerge, std::move(name)), fn_(std::move(fn)) {}
+  Any invoke(AnyVec p) const { return fn_(std::move(p)); }
+
+ private:
+  Fn fn_;
+};
+
+class ConditionMuscle final : public Muscle {
+ public:
+  using Fn = std::function<bool(const Any&)>;
+  ConditionMuscle(std::string name, Fn fn)
+      : Muscle(MuscleKind::kCondition, std::move(name)), fn_(std::move(fn)) {}
+  bool invoke(const Any& p) const { return fn_(p); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace askel

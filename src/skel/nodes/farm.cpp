@@ -1,0 +1,20 @@
+#include "skel/nodes.hpp"
+
+namespace askel {
+
+FarmNode::FarmNode(NodePtr inner) : SkelNode(SkelKind::kFarm), inner_(std::move(inner)) {}
+
+void FarmNode::exec(const CtxPtr& ctx, const Frame& parent, Any input, Cont cont) const {
+  if (ctx->failed()) return;
+  const Frame f = open_frame(ctx, parent);
+  Any p = ctx->emit(std::move(input), f, When::kBefore, Where::kSkeleton, -1);
+  p = ctx->emit(std::move(p), f, When::kBefore, Where::kNested, -1, -1, false, 0);
+  inner_->exec(ctx, f, std::move(p), [ctx, f, cont = std::move(cont)](Any r) {
+    if (ctx->failed()) return;
+    r = ctx->emit(std::move(r), f, When::kAfter, Where::kNested, -1, -1, false, 0);
+    r = ctx->emit(std::move(r), f, When::kAfter, Where::kSkeleton, -1);
+    cont(std::move(r));
+  });
+}
+
+}  // namespace askel

@@ -1,0 +1,39 @@
+#include "skel/nodes.hpp"
+
+#include <stdexcept>
+
+namespace askel {
+
+ForNode::ForNode(int n, NodePtr body)
+    : SkelNode(SkelKind::kFor), n_(n), body_(std::move(body)) {
+  if (n < 0) throw std::invalid_argument("for(n, ∆): n must be >= 0");
+}
+
+void ForNode::exec(const CtxPtr& ctx, const Frame& parent, Any input, Cont cont) const {
+  if (ctx->failed()) return;
+  const Frame f = open_frame(ctx, parent);
+  Any p = ctx->emit(std::move(input), f, When::kBefore, Where::kSkeleton, -1);
+  iterate(ctx, f, n_, std::move(p), std::move(cont));
+}
+
+void ForNode::iterate(const CtxPtr& ctx, Frame f, int remaining, Any value,
+                      Cont cont) const {
+  if (ctx->failed()) return;
+  if (remaining == 0) {
+    value = ctx->emit(std::move(value), f, When::kAfter, Where::kSkeleton, -1);
+    cont(std::move(value));
+    return;
+  }
+  const int child_index = n_ - remaining;
+  Any p = ctx->emit(std::move(value), f, When::kBefore, Where::kNested, -1, -1, false,
+                    child_index);
+  body_->exec(ctx, f, std::move(p),
+              [this, ctx, f, remaining, child_index, cont = std::move(cont)](Any r) {
+    if (ctx->failed()) return;
+    r = ctx->emit(std::move(r), f, When::kAfter, Where::kNested, -1, -1, false,
+                  child_index);
+    iterate(ctx, f, remaining - 1, std::move(r), cont);
+  });
+}
+
+}  // namespace askel

@@ -1,0 +1,31 @@
+#include "skel/nodes.hpp"
+
+namespace askel {
+
+IfNode::IfNode(CondPtr fc, NodePtr on_true, NodePtr on_false)
+    : SkelNode(SkelKind::kIf),
+      fc_(std::move(fc)),
+      on_true_(std::move(on_true)),
+      on_false_(std::move(on_false)) {}
+
+void IfNode::exec(const CtxPtr& ctx, const Frame& parent, Any input, Cont cont) const {
+  if (ctx->failed()) return;
+  const Frame f = open_frame(ctx, parent);
+  Any p = ctx->emit(std::move(input), f, When::kBefore, Where::kSkeleton, -1);
+  p = ctx->emit(std::move(p), f, When::kBefore, Where::kCondition, fc_->id());
+  bool branch = false;
+  if (!guarded(ctx, [&] { branch = fc_->invoke(p); })) return;
+  p = ctx->emit(std::move(p), f, When::kAfter, Where::kCondition, fc_->id(), -1, branch);
+  const SkelNode* chosen = branch ? on_true_.get() : on_false_.get();
+  const int child_index = branch ? 0 : 1;
+  p = ctx->emit(std::move(p), f, When::kBefore, Where::kNested, -1, -1, false, child_index);
+  chosen->exec(ctx, f, std::move(p),
+               [ctx, f, child_index, cont = std::move(cont)](Any r) {
+    if (ctx->failed()) return;
+    r = ctx->emit(std::move(r), f, When::kAfter, Where::kNested, -1, -1, false, child_index);
+    r = ctx->emit(std::move(r), f, When::kAfter, Where::kSkeleton, -1);
+    cont(std::move(r));
+  });
+}
+
+}  // namespace askel

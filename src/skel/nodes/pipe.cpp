@@ -1,0 +1,27 @@
+#include "skel/nodes.hpp"
+
+namespace askel {
+
+PipeNode::PipeNode(NodePtr stage1, NodePtr stage2)
+    : SkelNode(SkelKind::kPipe), stage1_(std::move(stage1)), stage2_(std::move(stage2)) {}
+
+void PipeNode::exec(const CtxPtr& ctx, const Frame& parent, Any input, Cont cont) const {
+  if (ctx->failed()) return;
+  const Frame f = open_frame(ctx, parent);
+  Any p = ctx->emit(std::move(input), f, When::kBefore, Where::kSkeleton, -1);
+  p = ctx->emit(std::move(p), f, When::kBefore, Where::kNested, -1, -1, false, 0);
+  stage1_->exec(ctx, f, std::move(p),
+                [this, ctx, f, cont = std::move(cont)](Any mid) {
+    if (ctx->failed()) return;
+    mid = ctx->emit(std::move(mid), f, When::kAfter, Where::kNested, -1, -1, false, 0);
+    mid = ctx->emit(std::move(mid), f, When::kBefore, Where::kNested, -1, -1, false, 1);
+    stage2_->exec(ctx, f, std::move(mid), [ctx, f, cont](Any r) {
+      if (ctx->failed()) return;
+      r = ctx->emit(std::move(r), f, When::kAfter, Where::kNested, -1, -1, false, 1);
+      r = ctx->emit(std::move(r), f, When::kAfter, Where::kSkeleton, -1);
+      cont(std::move(r));
+    });
+  });
+}
+
+}  // namespace askel

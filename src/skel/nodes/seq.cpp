@@ -1,0 +1,18 @@
+#include "skel/nodes.hpp"
+
+namespace askel {
+
+SeqNode::SeqNode(ExecPtr fe) : SkelNode(SkelKind::kSeq), fe_(std::move(fe)) {}
+
+void SeqNode::exec(const CtxPtr& ctx, const Frame& parent, Any input, Cont cont) const {
+  if (ctx->failed()) return;
+  const Frame f = open_frame(ctx, parent);
+  // seq(fe)@b(i): the two events of Figure 3.
+  Any p = ctx->emit(std::move(input), f, When::kBefore, Where::kExecute, fe_->id());
+  Any r;
+  if (!guarded(ctx, [&] { r = fe_->invoke(std::move(p)); })) return;
+  r = ctx->emit(std::move(r), f, When::kAfter, Where::kExecute, fe_->id());
+  cont(std::move(r));
+}
+
+}  // namespace askel

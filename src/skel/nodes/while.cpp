@@ -1,0 +1,35 @@
+#include "skel/nodes.hpp"
+
+namespace askel {
+
+WhileNode::WhileNode(CondPtr fc, NodePtr body)
+    : SkelNode(SkelKind::kWhile), fc_(std::move(fc)), body_(std::move(body)) {}
+
+void WhileNode::exec(const CtxPtr& ctx, const Frame& parent, Any input, Cont cont) const {
+  if (ctx->failed()) return;
+  const Frame f = open_frame(ctx, parent);
+  Any p = ctx->emit(std::move(input), f, When::kBefore, Where::kSkeleton, -1);
+  iterate(ctx, f, std::move(p), std::move(cont));
+}
+
+void WhileNode::iterate(const CtxPtr& ctx, Frame f, Any value, Cont cont) const {
+  if (ctx->failed()) return;
+  Any p = ctx->emit(std::move(value), f, When::kBefore, Where::kCondition, fc_->id());
+  bool go = false;
+  if (!guarded(ctx, [&] { go = fc_->invoke(p); })) return;
+  p = ctx->emit(std::move(p), f, When::kAfter, Where::kCondition, fc_->id(), -1, go);
+  if (!go) {
+    p = ctx->emit(std::move(p), f, When::kAfter, Where::kSkeleton, -1);
+    cont(std::move(p));
+    return;
+  }
+  p = ctx->emit(std::move(p), f, When::kBefore, Where::kNested, -1, -1, false, 0);
+  body_->exec(ctx, f, std::move(p),
+              [this, ctx, f, cont = std::move(cont)](Any r) {
+    if (ctx->failed()) return;
+    r = ctx->emit(std::move(r), f, When::kAfter, Where::kNested, -1, -1, false, 0);
+    iterate(ctx, f, std::move(r), cont);
+  });
+}
+
+}  // namespace askel

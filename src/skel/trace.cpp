@@ -1,0 +1,4 @@
+#include "skel/trace.hpp"
+
+// to_string(const Trace&) is implemented in node.cpp (needs SkelNode::name).
+// This translation unit exists so the target layout matches the module map.

@@ -1,0 +1,14 @@
+#pragma once
+// Helpers for rendering dynamic skeleton traces (the `st` array of the
+// paper's Listing 2 logger).
+
+#include <string>
+
+#include "events/event.hpp"
+
+namespace askel {
+
+/// "map/map/seq"-style rendering of a trace.
+std::string to_string(const Trace& trace);
+
+}  // namespace askel

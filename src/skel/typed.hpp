@@ -1,0 +1,156 @@
+#pragma once
+// Typed public API, mirroring Skandium's generics (paper Listing 1):
+//
+//   auto fs = askel::split_muscle<P, P>("fs", [](P p) { ... });
+//   auto fe = askel::execute_muscle<P, R>("fe", [](P p) { ... });
+//   auto fm = askel::merge_muscle<R, R>("fm", [](std::vector<R> v) { ... });
+//   auto nested = askel::Map(fs, askel::Seq(fe), fm);
+//   auto main_skel = askel::Map(fs, nested, fm);
+//   askel::Future<R> fut = main_skel.input(P{...}, engine);
+//   R result = fut.get();
+//
+// Muscle wrappers perform the any-casts at the boundary; the engine below is
+// fully type-erased. Sharing one muscle wrapper across several skeletons
+// shares its estimation history (exactly like sharing the Java object).
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "skel/engine.hpp"
+#include "skel/nodes.hpp"
+
+namespace askel {
+
+template <class P, class R>
+struct ExecuteM {
+  ExecPtr m;
+};
+template <class P, class I>
+struct SplitM {
+  SplitPtr m;
+};
+template <class O, class R>
+struct MergeM {
+  MergePtr m;
+};
+template <class P>
+struct CondM {
+  CondPtr m;
+};
+
+/// fe : P → R
+template <class P, class R, class F>
+ExecuteM<P, R> execute_muscle(std::string name, F fn) {
+  auto wrapped = [fn = std::move(fn)](Any p) -> Any {
+    return Any(fn(std::any_cast<P>(std::move(p))));
+  };
+  return {std::make_shared<const ExecuteMuscle>(std::move(name), std::move(wrapped))};
+}
+
+/// fs : P → {I}
+template <class P, class I, class F>
+SplitM<P, I> split_muscle(std::string name, F fn) {
+  auto wrapped = [fn = std::move(fn)](Any p) -> AnyVec {
+    std::vector<I> parts = fn(std::any_cast<P>(std::move(p)));
+    AnyVec out;
+    out.reserve(parts.size());
+    for (I& x : parts) out.emplace_back(std::move(x));
+    return out;
+  };
+  return {std::make_shared<const SplitMuscle>(std::move(name), std::move(wrapped))};
+}
+
+/// fm : {O} → R
+template <class O, class R, class F>
+MergeM<O, R> merge_muscle(std::string name, F fn) {
+  auto wrapped = [fn = std::move(fn)](AnyVec v) -> Any {
+    std::vector<O> parts;
+    parts.reserve(v.size());
+    for (Any& x : v) parts.push_back(std::any_cast<O>(std::move(x)));
+    return Any(fn(std::move(parts)));
+  };
+  return {std::make_shared<const MergeMuscle>(std::move(name), std::move(wrapped))};
+}
+
+/// fc : P → bool
+template <class P, class F>
+CondM<P> condition_muscle(std::string name, F fn) {
+  auto wrapped = [fn = std::move(fn)](const Any& p) -> bool {
+    return fn(std::any_cast<const P&>(p));
+  };
+  return {std::make_shared<const ConditionMuscle>(std::move(name), std::move(wrapped))};
+}
+
+/// Typed handle over an immutable skeleton tree; cheap to copy.
+template <class P, class R>
+class Skel {
+ public:
+  explicit Skel(NodePtr node) : node_(std::move(node)) {}
+
+  const NodePtr& node() const { return node_; }
+
+  /// Launch one execution (Skandium's `skeleton.input(p)`).
+  Future<R> input(P p, Engine& engine) const {
+    return Future<R>(engine.run(node_, Any(std::move(p))));
+  }
+
+ private:
+  NodePtr node_;
+};
+
+template <class P, class R>
+Skel<P, R> Seq(ExecuteM<P, R> fe) {
+  return Skel<P, R>(std::make_shared<const SeqNode>(std::move(fe.m)));
+}
+
+template <class P, class R>
+Skel<P, R> Farm(Skel<P, R> inner) {
+  return Skel<P, R>(std::make_shared<const FarmNode>(inner.node()));
+}
+
+template <class P, class X, class R>
+Skel<P, R> Pipe(Skel<P, X> stage1, Skel<X, R> stage2) {
+  return Skel<P, R>(
+      std::make_shared<const PipeNode>(stage1.node(), stage2.node()));
+}
+
+template <class P>
+Skel<P, P> While(CondM<P> fc, Skel<P, P> body) {
+  return Skel<P, P>(std::make_shared<const WhileNode>(std::move(fc.m), body.node()));
+}
+
+template <class P>
+Skel<P, P> For(int n, Skel<P, P> body) {
+  return Skel<P, P>(std::make_shared<const ForNode>(n, body.node()));
+}
+
+template <class P, class R>
+Skel<P, R> If(CondM<P> fc, Skel<P, R> on_true, Skel<P, R> on_false) {
+  return Skel<P, R>(std::make_shared<const IfNode>(std::move(fc.m), on_true.node(),
+                                                   on_false.node()));
+}
+
+template <class P, class I, class O, class R>
+Skel<P, R> Map(SplitM<P, I> fs, Skel<I, O> inner, MergeM<O, R> fm) {
+  return Skel<P, R>(std::make_shared<const MapNode>(std::move(fs.m), inner.node(),
+                                                    std::move(fm.m)));
+}
+
+template <class P, class I, class O, class R>
+Skel<P, R> Fork(SplitM<P, I> fs, std::vector<Skel<I, O>> branches, MergeM<O, R> fm) {
+  std::vector<NodePtr> nodes;
+  nodes.reserve(branches.size());
+  for (const Skel<I, O>& b : branches) nodes.push_back(b.node());
+  return Skel<P, R>(std::make_shared<const ForkNode>(std::move(fs.m), std::move(nodes),
+                                                     std::move(fm.m)));
+}
+
+template <class P, class R>
+Skel<P, R> DaC(CondM<P> fc, SplitM<P, P> fs, Skel<P, R> leaf, MergeM<R, R> fm) {
+  return Skel<P, R>(std::make_shared<const DacNode>(std::move(fc.m), std::move(fs.m),
+                                                    leaf.node(), std::move(fm.m)));
+}
+
+}  // namespace askel

@@ -1,0 +1,20 @@
+#include "sm/trackers.hpp"
+
+namespace askel {
+
+void PipeTracker::on_event(const Event& ev, EstimateRegistry&) {
+  if (ev.where == Where::kSkeleton && ev.when == When::kAfter) mark_finished();
+}
+
+std::vector<int> PipeTracker::contribute(SnapshotCtx& c, std::vector<int> preds) const {
+  const auto stages = node_->children();
+  std::vector<int> cur = std::move(preds);
+  std::size_t k = 0;
+  // Stages run strictly in order, so attached children are stage 0..k-1.
+  for (; k < children_.size(); ++k) cur = children_[k]->contribute(c, std::move(cur));
+  for (; k < stages.size(); ++k)
+    cur = expand_expected(*stages[k], c.est, c.g, cur, c.limits, depth_ + 1);
+  return cur;
+}
+
+}  // namespace askel

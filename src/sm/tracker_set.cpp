@@ -1,0 +1,143 @@
+#include "sm/tracker_set.hpp"
+
+#include "events/listener.hpp"
+
+namespace askel {
+
+// ---------------------------------------------------------------- Tracker --
+
+Tracker::Tracker(const SkelNode* node, std::int64_t exec_id,
+                 std::int64_t parent_exec_id)
+    : node_(node), exec_id_(exec_id), parent_exec_id_(parent_exec_id) {}
+
+int Tracker::add_record(SnapshotCtx& c, const MuscleRec& rec,
+                        std::vector<int> preds) const {
+  if (rec.done()) {
+    return c.g.add(
+        make_done(rec.muscle_id, rec.label, rec.start, *rec.end, std::move(preds)));
+  }
+  const auto t = c.est.t(rec.muscle_id, depth_);
+  Activity a = make_running(rec.muscle_id, rec.label, rec.start, t.value_or(0.0),
+                            std::move(preds));
+  a.has_estimate = t.has_value();
+  return c.g.add(std::move(a));
+}
+
+void Tracker::observe_duration_of(EstimateRegistry& reg, const MuscleRec& rec) const {
+  reg.observe_duration(rec.muscle_id, depth_, *rec.end - rec.start);
+}
+
+MuscleRec Tracker::open_rec(const Event& ev, const char* fallback_label) {
+  MuscleRec r;
+  r.muscle_id = ev.muscle_id;
+  r.label = fallback_label ? fallback_label : "m";
+  r.start = ev.timestamp;
+  return r;
+}
+
+void Tracker::close_rec(MuscleRec& rec, const Event& ev) {
+  rec.end = ev.timestamp;
+  rec.cond_result = ev.condition_result;
+  rec.cardinality = ev.cardinality;
+}
+
+TrackerPtr make_tracker(const SkelNode* node, const Event& ev) {
+  switch (node->kind()) {
+    case SkelKind::kSeq:
+      return std::make_shared<SeqTracker>(node, ev.exec_id, ev.parent_exec_id);
+    case SkelKind::kFarm:
+      return std::make_shared<FarmTracker>(node, ev.exec_id, ev.parent_exec_id);
+    case SkelKind::kPipe:
+      return std::make_shared<PipeTracker>(node, ev.exec_id, ev.parent_exec_id);
+    case SkelKind::kWhile:
+      return std::make_shared<WhileTracker>(node, ev.exec_id, ev.parent_exec_id);
+    case SkelKind::kFor:
+      return std::make_shared<ForTracker>(node, ev.exec_id, ev.parent_exec_id);
+    case SkelKind::kIf:
+      return std::make_shared<IfTracker>(node, ev.exec_id, ev.parent_exec_id);
+    case SkelKind::kMap:
+      return std::make_shared<MapTracker>(node, ev.exec_id, ev.parent_exec_id);
+    case SkelKind::kFork:
+      return std::make_shared<ForkTracker>(node, ev.exec_id, ev.parent_exec_id);
+    case SkelKind::kDaC:
+      return std::make_shared<DacTracker>(node, ev.exec_id, ev.parent_exec_id);
+  }
+  return nullptr;  // unreachable
+}
+
+// ------------------------------------------------------------- TrackerSet --
+
+TrackerSet::TrackerSet(EstimateRegistry& reg) : reg_(reg) {}
+
+void TrackerSet::on_event(const Event& ev) {
+  if (ev.exec_id < 0 || ev.node == nullptr) return;
+  std::lock_guard lock(mu_);
+  TrackerPtr t;
+  const auto it = by_exec_.find(ev.exec_id);
+  if (it != by_exec_.end()) {
+    t = it->second;
+  } else {
+    t = make_tracker(ev.node, ev);
+    by_exec_.emplace(ev.exec_id, t);
+    const auto pit = by_exec_.find(ev.parent_exec_id);
+    if (pit != by_exec_.end()) {
+      pit->second->attach_child(t);
+      t->set_depth(pit->second->depth() + 1);
+      // Recursion-level bookkeeping for d&C: a DaC child of a DaC instance of
+      // the same static node sits one level deeper.
+      auto* child_dac = dynamic_cast<DacTracker*>(t.get());
+      auto* parent_dac = dynamic_cast<DacTracker*>(pit->second.get());
+      if (child_dac && parent_dac && parent_dac->node() == child_dac->node()) {
+        child_dac->set_level(parent_dac->level() + 1);
+      }
+    } else {
+      roots_.push_back(t);
+    }
+  }
+  t->on_event(ev, reg_);
+  // The root d&C instance observes |fc| = divide depth when it completes.
+  if (t->finished()) {
+    if (auto* dac = dynamic_cast<DacTracker*>(t.get()); dac && dac->level() == 0) {
+      reg_.observe_cardinality(dac->dac().fc().id(),
+                               static_cast<double>(dac->divide_depth()));
+    }
+  }
+}
+
+EventBus::ListenerPtr TrackerSet::as_listener() {
+  return std::make_shared<ObserverListener>([this](const Event& ev) { on_event(ev); });
+}
+
+AdgSnapshot TrackerSet::snapshot(TimePoint now) const {
+  std::lock_guard lock(mu_);
+  AdgSnapshot g;
+  g.now = now;
+  if (roots_.empty()) return g;
+  const Estimates est = reg_.snapshot();
+  SnapshotCtx c{g, est, limits};
+  roots_.back()->contribute(c, {});
+  return g;
+}
+
+TrackerPtr TrackerSet::current_root() const {
+  std::lock_guard lock(mu_);
+  return roots_.empty() ? nullptr : roots_.back();
+}
+
+bool TrackerSet::root_finished() const {
+  const TrackerPtr r = current_root();
+  return r && r->finished();
+}
+
+std::size_t TrackerSet::tracked_instances() const {
+  std::lock_guard lock(mu_);
+  return by_exec_.size();
+}
+
+void TrackerSet::reset() {
+  std::lock_guard lock(mu_);
+  by_exec_.clear();
+  roots_.clear();
+}
+
+}  // namespace askel

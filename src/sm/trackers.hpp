@@ -1,0 +1,135 @@
+#pragma once
+// Concrete per-skeleton state machines.
+//
+// SeqTracker implements Figure 3, MapTracker Figure 4; the others follow the
+// same pattern for the remaining skeletons. Fork and If are tracked too —
+// the paper's v1.1b1 leaves them unsupported ("under construction"); we track
+// Fork like Map (branch-cycled children) and If by expanding the true branch
+// until the condition result is known (documented deviation in DESIGN.md).
+
+#include "sm/tracker.hpp"
+
+namespace askel {
+
+/// seq(fe): I --@b--> running --@a--> F  (Figure 3).
+class SeqTracker final : public Tracker {
+ public:
+  using Tracker::Tracker;
+  void on_event(const Event& ev, EstimateRegistry& reg) override;
+  std::vector<int> contribute(SnapshotCtx& c, std::vector<int> preds) const override;
+
+ private:
+  std::optional<MuscleRec> fe_;
+};
+
+/// Shared machine for map and fork (Figure 4): I --@bs--> splitting --@as-->
+/// S (children) --@bm--> M --@am--> F.
+class MapLikeTracker : public Tracker {
+ public:
+  using Tracker::Tracker;
+  void on_event(const Event& ev, EstimateRegistry& reg) override;
+  std::vector<int> contribute(SnapshotCtx& c, std::vector<int> preds) const override;
+
+ protected:
+  /// Static node executed by the k-th not-yet-started child.
+  virtual const SkelNode* pending_child_node(std::size_t ordinal) const = 0;
+  const SplitMuscle* split_muscle() const;
+  const MergeMuscle* merge_muscle() const;
+
+  std::optional<MuscleRec> split_;
+  std::optional<MuscleRec> merge_;
+};
+
+class MapTracker final : public MapLikeTracker {
+ public:
+  using MapLikeTracker::MapLikeTracker;
+
+ protected:
+  const SkelNode* pending_child_node(std::size_t) const override {
+    return node_->children()[0];
+  }
+};
+
+class ForkTracker final : public MapLikeTracker {
+ public:
+  using MapLikeTracker::MapLikeTracker;
+
+ protected:
+  const SkelNode* pending_child_node(std::size_t ordinal) const override {
+    const auto kids = node_->children();
+    // Started children occupy the lowest indices; cycle like the engine does.
+    return kids[(children_.size() + ordinal) % kids.size()];
+  }
+};
+
+/// pipe(∆1,∆2): stages run strictly in order.
+class PipeTracker final : public Tracker {
+ public:
+  using Tracker::Tracker;
+  void on_event(const Event& ev, EstimateRegistry& reg) override;
+  std::vector<int> contribute(SnapshotCtx& c, std::vector<int> preds) const override;
+};
+
+/// farm(∆): transparent wrapper around one child instance.
+class FarmTracker final : public Tracker {
+ public:
+  using Tracker::Tracker;
+  void on_event(const Event& ev, EstimateRegistry& reg) override;
+  std::vector<int> contribute(SnapshotCtx& c, std::vector<int> preds) const override;
+};
+
+/// if(fc,∆t,∆f): condition then the chosen branch.
+class IfTracker final : public Tracker {
+ public:
+  using Tracker::Tracker;
+  void on_event(const Event& ev, EstimateRegistry& reg) override;
+  std::vector<int> contribute(SnapshotCtx& c, std::vector<int> preds) const override;
+
+ private:
+  std::optional<MuscleRec> cond_;
+};
+
+/// while(fc,∆): alternating condition/body chain; |fc| = #true observed.
+class WhileTracker final : public Tracker {
+ public:
+  using Tracker::Tracker;
+  void on_event(const Event& ev, EstimateRegistry& reg) override;
+  std::vector<int> contribute(SnapshotCtx& c, std::vector<int> preds) const override;
+  long true_count() const { return true_count_; }
+
+ private:
+  std::vector<MuscleRec> conds_;
+  long true_count_ = 0;
+};
+
+/// for(n,∆): n body instances in sequence.
+class ForTracker final : public Tracker {
+ public:
+  using Tracker::Tracker;
+  void on_event(const Event& ev, EstimateRegistry& reg) override;
+  std::vector<int> contribute(SnapshotCtx& c, std::vector<int> preds) const override;
+};
+
+/// d&C(fc,fs,∆,fm): one tracker per recursion level; the root (level 0)
+/// observes |fc| = max divide depth when it finishes.
+class DacTracker final : public Tracker {
+ public:
+  using Tracker::Tracker;
+  void on_event(const Event& ev, EstimateRegistry& reg) override;
+  std::vector<int> contribute(SnapshotCtx& c, std::vector<int> preds) const override;
+
+  void set_level(long level) { level_ = level; }
+  long level() const { return level_; }
+  /// 0 when this instance did not divide; else 1 + max over children.
+  long divide_depth() const;
+  bool divided() const { return cond_ && cond_->done() && cond_->cond_result; }
+  const DacNode& dac() const { return static_cast<const DacNode&>(*node_); }
+
+ private:
+  std::optional<MuscleRec> cond_;
+  std::optional<MuscleRec> split_;
+  std::optional<MuscleRec> merge_;
+  long level_ = 0;
+};
+
+}  // namespace askel

@@ -1,0 +1,33 @@
+#include "util/clock.hpp"
+
+#include <cassert>
+
+namespace askel {
+
+SteadyClock::SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+TimePoint SteadyClock::now() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(d).count();
+}
+
+ManualClock::ManualClock(TimePoint start) : t_(start) {}
+
+TimePoint ManualClock::now() const { return t_.load(std::memory_order_acquire); }
+
+void ManualClock::set(TimePoint t) {
+  assert(t >= t_.load(std::memory_order_relaxed) && "ManualClock must not go backwards");
+  t_.store(t, std::memory_order_release);
+}
+
+void ManualClock::advance(Duration d) {
+  assert(d >= 0.0);
+  t_.store(t_.load(std::memory_order_relaxed) + d, std::memory_order_release);
+}
+
+const Clock& default_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+}  // namespace askel

@@ -1,0 +1,60 @@
+#pragma once
+// Clock abstraction used by every layer that reasons about time.
+//
+// The estimation and scheduling algorithms (est/, adg/, autonomic/) are pure
+// functions of timestamps, so they can run either against the real
+// steady clock (production) or a manually advanced clock (deterministic
+// tests and the virtual-time reproduction of the paper's Figures 1 and 2).
+//
+// All timestamps are double seconds since an arbitrary epoch chosen at clock
+// construction. Sub-microsecond precision is irrelevant at the granularity
+// the paper works with (muscles run for milliseconds to seconds).
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace askel {
+
+/// Seconds since a clock-local epoch.
+using TimePoint = double;
+/// Duration in seconds.
+using Duration = double;
+
+/// Interface for time sources. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds since this clock's epoch. Monotone.
+  virtual TimePoint now() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock; epoch = construction time.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  TimePoint now() const override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually advanced clock for deterministic tests and virtual-time runs.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0.0);
+  TimePoint now() const override;
+  /// Jump to an absolute time. Must not move backwards.
+  void set(TimePoint t);
+  /// Advance by a non-negative delta.
+  void advance(Duration d);
+
+ private:
+  std::atomic<double> t_;
+};
+
+/// Process-wide default real clock (lazily constructed, never destroyed
+/// before exit). Library objects take a `const Clock*` and default to this.
+const Clock& default_clock();
+
+}  // namespace askel

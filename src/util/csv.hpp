@@ -1,0 +1,32 @@
+#pragma once
+// Minimal CSV/fixed-width table rendering used by the figure harnesses in
+// bench/ to print the same rows/series the paper's figures plot.
+
+#include <string>
+#include <vector>
+
+namespace askel {
+
+/// A simple table: a header row plus data rows. Cells are pre-formatted.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render as aligned fixed-width text (for human-readable bench output).
+  std::string to_text() const;
+  /// Render as CSV.
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` digits after the decimal point.
+std::string fmt(double v, int prec = 2);
+
+}  // namespace askel

@@ -1,0 +1,76 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace askel {
+
+void TimeSeries::record(TimePoint t, double value) {
+  std::lock_guard lock(mu_);
+  samples_.push_back(Sample{t, value});
+}
+
+std::vector<Sample> TimeSeries::samples() const {
+  std::lock_guard lock(mu_);
+  return samples_;
+}
+
+std::size_t TimeSeries::size() const {
+  std::lock_guard lock(mu_);
+  return samples_.size();
+}
+
+void TimeSeries::clear() {
+  std::lock_guard lock(mu_);
+  samples_.clear();
+}
+
+double TimeSeries::max_value() const {
+  std::lock_guard lock(mu_);
+  double m = 0.0;
+  for (const Sample& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+double TimeSeries::value_at(TimePoint t, double before) const {
+  std::lock_guard lock(mu_);
+  double v = before;
+  for (const Sample& s : samples_) {
+    if (s.t > t) break;
+    v = s.value;
+  }
+  return v;
+}
+
+double TimeSeries::time_weighted_mean(TimePoint t0, TimePoint t1) const {
+  if (t1 <= t0) return 0.0;
+  const std::vector<Sample> snap = samples();
+  double acc = 0.0;
+  double cur = 0.0;
+  TimePoint prev = t0;
+  for (const Sample& s : snap) {
+    if (s.t <= t0) {
+      cur = s.value;
+      continue;
+    }
+    const TimePoint upto = std::min(s.t, t1);
+    if (upto > prev) {
+      acc += cur * (upto - prev);
+      prev = upto;
+    }
+    if (s.t >= t1) break;
+    cur = s.value;
+  }
+  if (prev < t1) acc += cur * (t1 - prev);
+  return acc / (t1 - t0);
+}
+
+std::string to_csv(const std::vector<Sample>& samples, const std::string& t_name,
+                   const std::string& v_name) {
+  std::ostringstream out;
+  out << t_name << ',' << v_name << '\n';
+  for (const Sample& s : samples) out << s.t << ',' << s.value << '\n';
+  return out.str();
+}
+
+}  // namespace askel

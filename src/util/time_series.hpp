@@ -1,0 +1,49 @@
+#pragma once
+// Thread-safe (time, value) series recorder.
+//
+// Used to log the number of active threads over wall-clock time: the exact
+// data behind the paper's Figures 2, 5, 6 and 7 ("Number of Active Threads"
+// vs "Wall Clock Time").
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace askel {
+
+struct Sample {
+  TimePoint t = 0.0;
+  double value = 0.0;
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+/// Append-only series of samples. `record` is safe to call concurrently.
+class TimeSeries {
+ public:
+  void record(TimePoint t, double value);
+  /// Snapshot of all samples recorded so far, in insertion order.
+  std::vector<Sample> samples() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Maximum value seen (0 if empty).
+  double max_value() const;
+  /// Value in effect at time `t` under step-function (sample-and-hold)
+  /// semantics: the value of the latest sample with sample.t <= t.
+  /// Returns `before` if no such sample exists.
+  double value_at(TimePoint t, double before = 0.0) const;
+  /// Time-weighted average of the step function over [t0, t1].
+  double time_weighted_mean(TimePoint t0, TimePoint t1) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Sample> samples_;
+};
+
+/// Render a series as two-column CSV ("t,value\n" rows) with a header.
+std::string to_csv(const std::vector<Sample>& samples, const std::string& t_name,
+                   const std::string& v_name);
+
+}  // namespace askel

@@ -1,0 +1,34 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace askel {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::operator()(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double u = uni(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  assert(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace askel

@@ -1,0 +1,34 @@
+#pragma once
+// Zipf-distributed integer sampler.
+//
+// The paper's evaluation counts hashtags and commented-users in 1.2 M tweets;
+// real social-media token frequencies are Zipfian. The synthetic corpus
+// (workload/tweets.*) uses this sampler so per-chunk work has realistic skew.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace askel {
+
+/// Samples k in [0, n) with P(k) proportional to 1 / (k+1)^s.
+/// Deterministic given the seed of the generator passed to operator().
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `s` is the skew exponent (s=0 degenerates to uniform).
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t operator()(std::mt19937_64& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+  /// Exact probability mass of rank k (for tests).
+  double pmf(std::size_t k) const;
+
+ private:
+  double s_ = 1.0;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace askel

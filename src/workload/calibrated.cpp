@@ -1,0 +1,19 @@
+#include "workload/calibrated.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace askel {
+
+void simulate_work(Duration seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+double PaperTimings::sequential_wct() const {
+  const double per_chunk =
+      scaled_inner_split() + inner_chunks * scaled_execute() + scaled_inner_merge();
+  return scaled_outer_split() + outer_chunks * per_chunk + scaled_outer_merge();
+}
+
+}  // namespace askel

@@ -1,0 +1,54 @@
+#include "workload/tweets.hpp"
+
+#include <random>
+
+namespace askel {
+
+std::vector<std::string> generate_tweets(const TweetCorpusConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  const ZipfDistribution tag_dist(cfg.hashtag_vocab, cfg.zipf_s);
+  const ZipfDistribution user_dist(cfg.user_vocab, cfg.zipf_s);
+  const ZipfDistribution word_dist(cfg.word_vocab, cfg.zipf_s);
+  std::uniform_int_distribution<int> n_tags(0, cfg.max_hashtags);
+  std::uniform_int_distribution<int> n_mentions(0, cfg.max_mentions);
+  std::uniform_int_distribution<int> n_words(1, std::max(1, cfg.words_per_tweet * 2 - 1));
+
+  std::vector<std::string> tweets;
+  tweets.reserve(cfg.num_tweets);
+  for (std::size_t i = 0; i < cfg.num_tweets; ++i) {
+    std::string t;
+    const int words = n_words(rng);
+    for (int w = 0; w < words; ++w) {
+      if (!t.empty()) t += ' ';
+      t += "w" + std::to_string(word_dist(rng));
+    }
+    const int tags = n_tags(rng);
+    for (int k = 0; k < tags; ++k) {
+      t += " #tag" + std::to_string(tag_dist(rng));
+    }
+    const int mentions = n_mentions(rng);
+    for (int k = 0; k < mentions; ++k) {
+      t += " @user" + std::to_string(user_dist(rng));
+    }
+    tweets.push_back(std::move(t));
+  }
+  return tweets;
+}
+
+std::vector<std::string> extract_tags_and_mentions(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '#' || text[i] == '@') {
+      std::size_t j = i + 1;
+      while (j < text.size() && text[j] != ' ') ++j;
+      if (j > i + 1) out.push_back(text.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace askel

@@ -1,0 +1,40 @@
+#pragma once
+// Synthetic tweet corpus.
+//
+// The paper counts hashtags and commented-users over 1.2 M Colombian tweets
+// (the raw-data link is dead). We generate a deterministic corpus whose
+// hashtag / mention frequencies are Zipf-distributed — the realistic skew for
+// social-media tokens — so the split/count/merge path does the same work on
+// the same kind of distribution.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/zipf.hpp"
+
+namespace askel {
+
+struct TweetCorpusConfig {
+  std::size_t num_tweets = 20000;
+  std::size_t hashtag_vocab = 500;
+  std::size_t user_vocab = 1000;
+  std::size_t word_vocab = 5000;
+  /// Zipf skew of token frequencies.
+  double zipf_s = 1.1;
+  /// Mean plain words per tweet.
+  int words_per_tweet = 8;
+  /// Max hashtags / mentions per tweet (count drawn uniformly in [0, max]).
+  int max_hashtags = 3;
+  int max_mentions = 2;
+  std::uint64_t seed = 42;
+};
+
+/// One tweet per string; hashtags are "#tagN", mentions "@userM".
+std::vector<std::string> generate_tweets(const TweetCorpusConfig& cfg);
+
+/// Tokens of interest for the paper's count: hashtags and commented-users.
+/// Returns every "#..." and "@..." token in `text`.
+std::vector<std::string> extract_tags_and_mentions(const std::string& text);
+
+}  // namespace askel

@@ -1,0 +1,295 @@
+// Tests for adg/: snapshot structure, the best-effort and limited-LP
+// schedulers, timelines — including an exact reproduction of the paper's
+// Figure 1 / Figure 2 numbers from a hand-built snapshot.
+
+#include <gtest/gtest.h>
+
+#include "adg/best_effort.hpp"
+#include "adg/limited_lp.hpp"
+#include "adg/snapshot.hpp"
+#include "adg/timeline.hpp"
+
+namespace askel {
+namespace {
+
+TEST(Snapshot, AddAssignsSequentialIds) {
+  AdgSnapshot g;
+  const int a = g.add(make_pending(0, "a", 1.0, {}));
+  const int b = g.add(make_pending(0, "b", 1.0, {a}));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(Snapshot, RejectsForwardPredecessors) {
+  AdgSnapshot g;
+  EXPECT_THROW(g.add(make_pending(0, "x", 1.0, {0})), std::invalid_argument);
+}
+
+TEST(Snapshot, MissingEstimateClearsCompleteFlag) {
+  AdgSnapshot g;
+  g.add(make_pending(0, "x", 0.0, {}, /*has_estimate=*/false));
+  EXPECT_FALSE(g.complete_estimates);
+}
+
+TEST(Snapshot, CountsByState) {
+  AdgSnapshot g;
+  g.now = 10.0;
+  g.add(make_done(0, "d", 0.0, 5.0, {}));
+  g.add(make_running(0, "r", 5.0, 3.0, {0}));
+  g.add(make_pending(0, "p", 2.0, {1}));
+  EXPECT_EQ(g.count(ActivityState::kDone), 1u);
+  EXPECT_EQ(g.count(ActivityState::kRunning), 1u);
+  EXPECT_EQ(g.count(ActivityState::kPending), 1u);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(Snapshot, ValidateCatchesDoneInFuture) {
+  AdgSnapshot g;
+  g.now = 1.0;
+  g.add(make_done(0, "d", 0.0, 5.0, {}));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(BestEffort, ChainAddsDurations) {
+  AdgSnapshot g;
+  g.now = 0.0;
+  const int a = g.add(make_pending(0, "a", 2.0, {}));
+  const int b = g.add(make_pending(0, "b", 3.0, {a}));
+  const Schedule s = best_effort(g);
+  EXPECT_DOUBLE_EQ(s.entries[a].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.entries[a].end, 2.0);
+  EXPECT_DOUBLE_EQ(s.entries[b].start, 2.0);
+  EXPECT_DOUBLE_EQ(s.entries[b].end, 5.0);
+  EXPECT_DOUBLE_EQ(s.wct, 5.0);
+}
+
+TEST(BestEffort, IndependentActivitiesOverlapFully) {
+  AdgSnapshot g;
+  g.now = 0.0;
+  for (int k = 0; k < 5; ++k) g.add(make_pending(0, "x", 4.0, {}));
+  EXPECT_DOUBLE_EQ(best_effort(g).wct, 4.0);
+  EXPECT_EQ(optimal_lp(g), 5);
+}
+
+TEST(BestEffort, OverdueRunningActivityClampsToNow) {
+  // "if ti + t(m) is in the past, tf = currentTime"
+  AdgSnapshot g;
+  g.now = 10.0;
+  const int r = g.add(make_running(0, "r", 2.0, 3.0, {}));  // should have ended at 5
+  const Schedule s = best_effort(g);
+  EXPECT_DOUBLE_EQ(s.entries[r].end, 10.0);
+}
+
+TEST(BestEffort, PendingWithPastPredecessorStartsNow) {
+  // "If max(preds' tf) is in the past, ti = currentTime"
+  AdgSnapshot g;
+  g.now = 20.0;
+  const int d = g.add(make_done(0, "d", 0.0, 5.0, {}));
+  const int p = g.add(make_pending(0, "p", 2.0, {d}));
+  const Schedule s = best_effort(g);
+  EXPECT_DOUBLE_EQ(s.entries[p].start, 20.0);
+  EXPECT_DOUBLE_EQ(s.entries[p].end, 22.0);
+}
+
+TEST(LimitedLp, RejectsNonPositiveLp) {
+  AdgSnapshot g;
+  EXPECT_THROW(limited_lp(g, 0), std::invalid_argument);
+}
+
+TEST(LimitedLp, SingleWorkerSerializesIndependentWork) {
+  AdgSnapshot g;
+  g.now = 0.0;
+  for (int k = 0; k < 4; ++k) g.add(make_pending(0, "x", 2.0, {}));
+  EXPECT_DOUBLE_EQ(limited_lp(g, 1).wct, 8.0);
+  EXPECT_DOUBLE_EQ(limited_lp(g, 2).wct, 4.0);
+  EXPECT_DOUBLE_EQ(limited_lp(g, 4).wct, 2.0);
+  EXPECT_DOUBLE_EQ(limited_lp(g, 99).wct, 2.0);
+}
+
+TEST(LimitedLp, RunningActivitiesOccupyWorkers) {
+  AdgSnapshot g;
+  g.now = 0.0;
+  g.add(make_running(0, "r", 0.0, 5.0, {}));  // holds one of the two workers
+  g.add(make_pending(0, "p1", 2.0, {}));
+  g.add(make_pending(0, "p2", 2.0, {}));
+  const Schedule s = limited_lp(g, 2);
+  // p1 takes the free worker [0,2]; p2 runs after it [2,4] (the running
+  // activity frees its worker only at 5).
+  EXPECT_DOUBLE_EQ(s.entries[1].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.entries[2].start, 2.0);
+  EXPECT_DOUBLE_EQ(s.wct, 5.0);
+}
+
+TEST(LimitedLp, MoreRunningThanLpIsTolerated) {
+  // The controller shrank LP below the number of in-flight muscles: they all
+  // finish, but only `lp` worker slots are reused afterwards.
+  AdgSnapshot g;
+  g.now = 0.0;
+  g.add(make_running(0, "r1", 0.0, 4.0, {}));
+  g.add(make_running(0, "r2", 0.0, 8.0, {}));
+  g.add(make_pending(0, "p", 1.0, {}));
+  const Schedule s = limited_lp(g, 1);
+  // Only the earliest-finishing slot (t=4) rejoins the 1-worker pool.
+  EXPECT_DOUBLE_EQ(s.entries[2].start, 4.0);
+  EXPECT_DOUBLE_EQ(s.wct, 8.0);
+}
+
+TEST(LimitedLp, RespectsDependenciesAcrossWorkers) {
+  AdgSnapshot g;
+  g.now = 0.0;
+  const int a = g.add(make_pending(0, "a", 3.0, {}));
+  const int b = g.add(make_pending(0, "b", 1.0, {}));
+  const int c = g.add(make_pending(0, "c", 1.0, {a}));
+  const Schedule s = limited_lp(g, 2);
+  EXPECT_DOUBLE_EQ(s.entries[b].end, 1.0);
+  EXPECT_DOUBLE_EQ(s.entries[c].start, 3.0);  // waits for a despite a free worker
+}
+
+TEST(LimitedLp, MatchesBestEffortWhenLpIsAbundant) {
+  AdgSnapshot g;
+  g.now = 0.0;
+  const int a = g.add(make_pending(0, "a", 2.0, {}));
+  const int b = g.add(make_pending(0, "b", 5.0, {}));
+  g.add(make_pending(0, "c", 1.0, {a, b}));
+  EXPECT_DOUBLE_EQ(limited_lp(g, 3).wct, best_effort(g).wct);
+}
+
+TEST(Timeline, ProfileCountsOverlaps) {
+  Schedule s;
+  s.entries = {{0.0, 4.0}, {1.0, 3.0}, {5.0, 6.0}};
+  const auto profile = concurrency_profile(s);
+  EXPECT_EQ(peak_concurrency(profile), 2);
+  // Level decreases back to 0 between 4 and 5.
+  bool saw_zero_gap = false;
+  for (const Sample& p : profile)
+    if (p.t == 4.0 && p.value == 0.0) saw_zero_gap = true;
+  EXPECT_TRUE(saw_zero_gap);
+}
+
+TEST(Timeline, ZeroDurationActivitiesAreInvisible) {
+  Schedule s;
+  s.entries = {{2.0, 2.0}, {1.0, 3.0}};
+  EXPECT_EQ(peak_concurrency(concurrency_profile(s)), 1);
+}
+
+TEST(Timeline, EmptyScheduleHasZeroPeak) {
+  EXPECT_EQ(peak_concurrency(concurrency_profile(Schedule{})), 0);
+}
+
+// ------------------------------------------------------------------------
+// The paper's worked example (Figure 1 / Figure 2), built by hand exactly as
+// the text describes: ADG of map(fs, map(fs, seq(fe), fm), fm) with
+// t(fs)=10, t(fe)=15, t(fm)=5, |fs|=3, LP=2, observed at WCT 70.
+// ------------------------------------------------------------------------
+struct PaperFigure1 {
+  AdgSnapshot g;
+  int outer_split, merge1, merge2, split3;
+  int fe3[3];
+  int merge3, outer_merge;
+
+  PaperFigure1() {
+    g.now = 70.0;
+    outer_split = g.add(make_done(0, "fs", 0, 10, {}));
+    // Inner map 1: fully done at 70.
+    const int s1 = g.add(make_done(0, "fs", 10, 20, {outer_split}));
+    const int e1a = g.add(make_done(1, "fe", 20, 35, {s1}));
+    const int e1b = g.add(make_done(1, "fe", 35, 50, {s1}));
+    const int e1c = g.add(make_done(1, "fe", 50, 65, {s1}));
+    merge1 = g.add(make_done(2, "fm", 65, 70, {e1a, e1b, e1c}));
+    // Inner map 2: executes done, merge not started.
+    const int s2 = g.add(make_done(0, "fs", 10, 20, {outer_split}));
+    const int e2a = g.add(make_done(1, "fe", 20, 35, {s2}));
+    const int e2b = g.add(make_done(1, "fe", 35, 50, {s2}));
+    const int e2c = g.add(make_done(1, "fe", 50, 65, {s2}));
+    merge2 = g.add(make_pending(2, "fm", 5, {e2a, e2b, e2c}));
+    // Inner map 3: split running since 65; the rest is expectation.
+    split3 = g.add(make_running(0, "fs", 65, 10, {outer_split}));
+    for (int k = 0; k < 3; ++k) fe3[k] = g.add(make_pending(1, "fe", 15, {split3}));
+    merge3 = g.add(make_pending(2, "fm", 5, {fe3[0], fe3[1], fe3[2]}));
+    outer_merge = g.add(make_pending(2, "fm", 5, {merge1, merge2, merge3}));
+  }
+};
+
+TEST(PaperExample, Figure1BestEffortTimes) {
+  PaperFigure1 f;
+  ASSERT_TRUE(f.g.validate().empty()) << f.g.validate();
+  const Schedule s = best_effort(f.g);
+  // merge2's predecessors ended at 65 (in the past) → starts now (70).
+  EXPECT_DOUBLE_EQ(s.entries[f.merge2].start, 70);
+  EXPECT_DOUBLE_EQ(s.entries[f.merge2].end, 75);
+  // split3 runs 65..75; the three fe follow at 75..90.
+  EXPECT_DOUBLE_EQ(s.entries[f.split3].end, 75);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(s.entries[f.fe3[k]].start, 75);
+    EXPECT_DOUBLE_EQ(s.entries[f.fe3[k]].end, 90);
+  }
+  EXPECT_DOUBLE_EQ(s.entries[f.merge3].start, 90);
+  EXPECT_DOUBLE_EQ(s.entries[f.merge3].end, 95);
+  // Outer merge waits for merge3: 95..100 — best-effort WCT 100.
+  EXPECT_DOUBLE_EQ(s.entries[f.outer_merge].start, 95);
+  EXPECT_DOUBLE_EQ(s.wct, 100);
+}
+
+TEST(PaperExample, Figure1LimitedLp2Times) {
+  PaperFigure1 f;
+  const Schedule s = limited_lp(f.g, 2);
+  // Figure 1 bottom boxes: merge2 70..75; fe3 at {75..90, 75..90, 90..105};
+  // merge3 105..110; outer merge 110..115 — "the total WCT will be 115".
+  EXPECT_DOUBLE_EQ(s.entries[f.merge2].start, 70);
+  EXPECT_DOUBLE_EQ(s.entries[f.merge2].end, 75);
+  std::vector<double> fe_starts = {s.entries[f.fe3[0]].start,
+                                   s.entries[f.fe3[1]].start,
+                                   s.entries[f.fe3[2]].start};
+  std::sort(fe_starts.begin(), fe_starts.end());
+  EXPECT_DOUBLE_EQ(fe_starts[0], 75);
+  EXPECT_DOUBLE_EQ(fe_starts[1], 75);
+  EXPECT_DOUBLE_EQ(fe_starts[2], 90);
+  EXPECT_DOUBLE_EQ(s.entries[f.merge3].start, 105);
+  EXPECT_DOUBLE_EQ(s.entries[f.merge3].end, 110);
+  EXPECT_DOUBLE_EQ(s.entries[f.outer_merge].start, 110);
+  EXPECT_DOUBLE_EQ(s.wct, 115);
+}
+
+TEST(PaperExample, Figure2OptimalLpIsThree) {
+  // "a maximum requirement of 3 active threads during [75, 90); therefore
+  //  the optimal LP for this example is 3 threads."
+  PaperFigure1 f;
+  const auto profile = concurrency_profile(best_effort(f.g));
+  EXPECT_EQ(peak_concurrency(profile), 3);
+  EXPECT_EQ(optimal_lp(f.g), 3);
+  // The 3-thread plateau is exactly [75, 90).
+  double plateau_start = -1, plateau_end = -1;
+  for (std::size_t k = 0; k < profile.size(); ++k) {
+    if (profile[k].value == 3.0) {
+      plateau_start = profile[k].t;
+      plateau_end = profile[k + 1].t;
+    }
+  }
+  EXPECT_DOUBLE_EQ(plateau_start, 75);
+  EXPECT_DOUBLE_EQ(plateau_end, 90);
+}
+
+TEST(PaperExample, Figure2LimitedLpNeverExceedsTwo) {
+  PaperFigure1 f;
+  const Schedule s = limited_lp(f.g, 2);
+  // Count only the future (running+pending) part: the past already happened
+  // at LP 2 by construction.
+  Schedule future;
+  for (std::size_t k = 0; k < s.entries.size(); ++k) {
+    if (f.g.activities[k].state != ActivityState::kDone)
+      future.entries.push_back(s.entries[k]);
+  }
+  EXPECT_LE(peak_concurrency(concurrency_profile(future)), 2);
+}
+
+TEST(PaperExample, Lp3MeetsWctGoal100) {
+  // "If we set the WCT QoS goal to 100, Skandium will autonomically increase
+  //  LP to 3 in order to achieve the goal."
+  PaperFigure1 f;
+  EXPECT_GT(limited_lp(f.g, 2).wct, 100.0);
+  EXPECT_LE(limited_lp(f.g, 3).wct, 100.0);
+}
+
+}  // namespace
+}  // namespace askel

@@ -1,0 +1,167 @@
+// Tests for autonomic/decision: the pure LP policy.
+
+#include <gtest/gtest.h>
+
+#include "autonomic/decision.hpp"
+
+namespace askel {
+namespace {
+
+/// n independent pending activities of duration d each, observed at now=0.
+AdgSnapshot independent(int n, double d) {
+  AdgSnapshot g;
+  g.now = 0.0;
+  for (int k = 0; k < n; ++k) g.add(make_pending(0, "x", d, {}));
+  return g;
+}
+
+TEST(Decision, EmptySnapshotDoesNothing) {
+  AdgSnapshot g;
+  const Decision d = decide(g, 10.0, 4, 8);
+  EXPECT_EQ(d.new_lp, 4);
+  EXPECT_EQ(d.reason, DecisionReason::kEmptySnapshot);
+}
+
+TEST(Decision, IncompleteEstimatesBlockAdaptation) {
+  AdgSnapshot g;
+  g.add(make_pending(0, "x", 0.0, {}, /*has_estimate=*/false));
+  const Decision d = decide(g, 10.0, 2, 8);
+  EXPECT_EQ(d.new_lp, 2);
+  EXPECT_EQ(d.reason, DecisionReason::kIncompleteEstimates);
+}
+
+TEST(Decision, GoalAlreadyMetKeepsLp) {
+  // 4 tasks of 1s on 2 workers → 2s; goal 3s; half (1 worker) → 4s > 3.
+  const AdgSnapshot g = independent(4, 1.0);
+  const Decision d = decide(g, 3.0, 2, 8);
+  EXPECT_EQ(d.new_lp, 2);
+  EXPECT_EQ(d.reason, DecisionReason::kNoChange);
+  EXPECT_DOUBLE_EQ(d.current_lp_wct, 2.0);
+  EXPECT_DOUBLE_EQ(d.best_effort_wct, 1.0);
+  EXPECT_EQ(d.optimal_lp, 4);
+}
+
+TEST(Decision, IncreasesToSmallestSufficientLp) {
+  // 8 × 1s tasks; goal 2s → needs 4 workers exactly.
+  const AdgSnapshot g = independent(8, 1.0);
+  const Decision d = decide(g, 2.0, 1, 16);
+  EXPECT_EQ(d.new_lp, 4);
+  EXPECT_EQ(d.reason, DecisionReason::kIncreaseToGoal);
+}
+
+TEST(Decision, UnachievableGoalCoversReadyFrontier) {
+  // Even with infinite LP the 10s chain misses the 1s goal. The ready
+  // frontier (the chain head + 6 independent y) is 7 wide, so the first
+  // allocation already covers it — serializing ready work can only hurt.
+  AdgSnapshot g;
+  g.now = 0.0;
+  int prev = g.add(make_pending(0, "x", 5.0, {}));
+  prev = g.add(make_pending(0, "x", 5.0, {prev}));
+  for (int k = 0; k < 6; ++k) g.add(make_pending(0, "y", 1.0, {}));
+  Decision d = decide(g, 1.0, 1, 24);
+  EXPECT_EQ(d.reason, DecisionReason::kUnachievableRamp);
+  EXPECT_EQ(d.new_lp, 7);  // ready width 7, also the optimal LP
+  d = decide(g, 1.0, 7, 24);
+  EXPECT_EQ(d.reason, DecisionReason::kNoChange);  // already at optimal
+}
+
+TEST(Decision, UnachievableGoalRampsWhenFrontierIsNarrow) {
+  // A narrow head followed by a wide body: the frontier is 1, so growth is
+  // multiplicative (paper Fig. 5: 1 → 3 at the first adaptation) until the
+  // optimal LP is reached.
+  AdgSnapshot g;
+  g.now = 0.0;
+  const int head = g.add(make_pending(0, "h", 1.0, {}));
+  for (int k = 0; k < 10; ++k) g.add(make_pending(0, "w", 10.0, {head}));
+  Decision d = decide(g, 0.5, 1, 24);
+  EXPECT_EQ(d.reason, DecisionReason::kUnachievableRamp);
+  EXPECT_EQ(d.new_lp, 3);  // 1 → 3
+  d = decide(g, 0.5, 3, 24);
+  EXPECT_EQ(d.new_lp, 9);  // 3 → 9
+  d = decide(g, 0.5, 9, 24);
+  EXPECT_EQ(d.new_lp, 10);  // capped at optimal
+}
+
+TEST(Decision, RampRespectsMaxLp) {
+  const AdgSnapshot g = independent(100, 10.0);
+  const Decision d = decide(g, 1.0, 3, 4);  // unachievable; optimal 100
+  EXPECT_EQ(d.new_lp, 4);
+}
+
+TEST(Decision, RampFactorOneJumpsStraightToOptimal) {
+  DecisionConfig cfg;
+  cfg.ramp_factor = 1;
+  const AdgSnapshot g = independent(10, 10.0);
+  const Decision d = decide(g, 1.0, 1, 24, cfg);
+  EXPECT_EQ(d.new_lp, 10);
+  EXPECT_EQ(d.reason, DecisionReason::kUnachievableRamp);
+}
+
+TEST(Decision, SaturatedIncreaseUsesOptimalCappedByMax) {
+  // 8 × 1s, goal 1.5s: best effort 1.0 fits, but no LP ≤ 5 reaches 1.5
+  // (needs ⌈8/1.5⌉ → 6). With max 5 the policy saturates at min(8,5)=5.
+  const AdgSnapshot g = independent(8, 1.0);
+  const Decision d = decide(g, 1.5, 1, 5);
+  EXPECT_EQ(d.new_lp, 5);
+  EXPECT_EQ(d.reason, DecisionReason::kIncreaseSaturated);
+}
+
+TEST(Decision, DecreaseHalvesWhenGoalStillMet) {
+  // 4 × 1s on 8 workers → 1s; goal 2.5s; half (4) → still 1s ≤ 2.5.
+  const AdgSnapshot g = independent(4, 1.0);
+  const Decision d = decide(g, 2.5, 8, 8);
+  EXPECT_EQ(d.new_lp, 4);
+  EXPECT_EQ(d.reason, DecisionReason::kDecreaseHalf);
+}
+
+TEST(Decision, DecreaseIsHalvingNotMinimal) {
+  // Goal 10s, 2 × 1s tasks: even 1 worker meets the goal, but from LP 8 the
+  // paper's algorithm only halves to 4 — it "does not reduce the LP as fast
+  // as it increases it".
+  const AdgSnapshot g = independent(2, 1.0);
+  const Decision d = decide(g, 10.0, 8, 8);
+  EXPECT_EQ(d.new_lp, 4);
+}
+
+TEST(Decision, DecreaseDisabledByConfig) {
+  DecisionConfig cfg;
+  cfg.allow_decrease = false;
+  const AdgSnapshot g = independent(2, 1.0);
+  const Decision d = decide(g, 10.0, 8, 8, cfg);
+  EXPECT_EQ(d.new_lp, 8);
+  EXPECT_EQ(d.reason, DecisionReason::kNoChange);
+}
+
+TEST(Decision, NeverDecreasesBelowOne) {
+  const AdgSnapshot g = independent(1, 0.1);
+  const Decision d = decide(g, 10.0, 1, 8);
+  EXPECT_EQ(d.new_lp, 1);
+  EXPECT_EQ(d.reason, DecisionReason::kNoChange);
+}
+
+TEST(Decision, HalfNotMeetingGoalKeepsCurrent) {
+  // 8 × 1s on 4 workers → 2s; goal 2s met; half (2) → 4s > 2: keep 4.
+  const AdgSnapshot g = independent(8, 1.0);
+  const Decision d = decide(g, 2.0, 4, 8);
+  EXPECT_EQ(d.new_lp, 4);
+  EXPECT_EQ(d.reason, DecisionReason::kNoChange);
+}
+
+TEST(Decision, DoneActivitiesDontBlockDecisions) {
+  AdgSnapshot g;
+  g.now = 10.0;
+  const int d0 = g.add(make_done(0, "d", 0.0, 10.0, {}));
+  for (int k = 0; k < 4; ++k) g.add(make_pending(0, "p", 1.0, {d0}));
+  const Decision d = decide(g, 11.0, 1, 8);  // 4s of work, 1s budget
+  EXPECT_EQ(d.new_lp, 4);
+  EXPECT_EQ(d.reason, DecisionReason::kIncreaseToGoal);
+}
+
+TEST(Decision, ReasonToString) {
+  EXPECT_EQ(to_string(DecisionReason::kNoChange), "no-change");
+  EXPECT_EQ(to_string(DecisionReason::kUnachievableRamp), "unachievable-ramp");
+  EXPECT_EQ(to_string(DecisionReason::kDecreaseHalf), "decrease-half");
+}
+
+}  // namespace
+}  // namespace askel

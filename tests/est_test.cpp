@@ -1,0 +1,222 @@
+// Tests for est/: the paper's history-based estimator and the registry.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "est/ewma.hpp"
+#include "est/registry.hpp"
+
+namespace askel {
+namespace {
+
+TEST(Ewma, FirstObservationBecomesEstimate) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.has_value());
+  e.observe(10.0);
+  EXPECT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, PaperFormula) {
+  // newEst = ρ·lastActual + (1−ρ)·prevEst
+  Ewma e(0.5);
+  e.observe(10.0);
+  e.observe(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.observe(5.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, RhoOneTracksOnlyLastMeasure) {
+  // "if ρ is set to 1, then only the last measure will be taken into account"
+  Ewma e(1.0);
+  e.observe(10.0);
+  e.observe(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, RhoZeroKeepsFirstValue) {
+  // "if ρ is set to 0, then only the first value will be taken into account"
+  Ewma e(0.0);
+  e.observe(10.0);
+  e.observe(99.0);
+  e.observe(-5.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, InitSeedsWithoutCountingObservation) {
+  Ewma e(0.5);
+  e.init(8.0);
+  EXPECT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e.value(), 8.0);
+  EXPECT_EQ(e.observations(), 0);
+  e.observe(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 6.0);  // blends with the initialization
+  EXPECT_EQ(e.observations(), 1);
+}
+
+TEST(Ewma, RejectsRhoOutsideUnitInterval) {
+  EXPECT_THROW(Ewma(-0.1), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.1), std::invalid_argument);
+}
+
+TEST(Ewma, ValueStaysWithinObservedRange) {
+  Ewma e(0.3);
+  double lo = 1e9, hi = -1e9;
+  const double xs[] = {3.0, 8.0, 1.0, 6.5, 2.2};
+  for (double x : xs) {
+    e.observe(x);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    EXPECT_GE(e.value(), lo);
+    EXPECT_LE(e.value(), hi);
+  }
+}
+
+TEST(MuscleStats, SeparatesDurationAndCardinality) {
+  MuscleStats s(0.5);
+  EXPECT_FALSE(s.t().has_value());
+  EXPECT_FALSE(s.cardinality().has_value());
+  s.observe_duration(2.0);
+  s.observe_cardinality(3.0);
+  EXPECT_DOUBLE_EQ(*s.t(), 2.0);
+  EXPECT_DOUBLE_EQ(*s.cardinality(), 3.0);
+}
+
+TEST(Registry, ObserveAndRead) {
+  EstimateRegistry reg(0.5);
+  reg.observe_duration(7, 10.0);
+  reg.observe_duration(7, 20.0);
+  EXPECT_DOUBLE_EQ(*reg.t(7), 15.0);
+  EXPECT_FALSE(reg.t(8).has_value());
+  EXPECT_FALSE(reg.cardinality(7).has_value());
+}
+
+TEST(Registry, SnapshotIsAConsistentCopy) {
+  EstimateRegistry reg(1.0);
+  reg.observe_duration(1, 5.0);
+  reg.observe_cardinality(1, 3.0);
+  const Estimates snap = reg.snapshot();
+  reg.observe_duration(1, 100.0);  // must not affect the snapshot
+  EXPECT_DOUBLE_EQ(*snap.t(1), 5.0);
+  EXPECT_DOUBLE_EQ(*snap.cardinality(1), 3.0);
+  EXPECT_DOUBLE_EQ(snap.t_or(1, -1.0), 5.0);
+  EXPECT_DOUBLE_EQ(snap.t_or(999, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(snap.cardinality_or(999, 7.0), 7.0);
+}
+
+TEST(Registry, InitSeedsEstimates) {
+  EstimateRegistry reg(0.5);
+  reg.init_duration(3, 6.0);
+  reg.init_cardinality(3, 4.0);
+  EXPECT_DOUBLE_EQ(*reg.t(3), 6.0);
+  EXPECT_DOUBLE_EQ(*reg.cardinality(3), 4.0);
+}
+
+TEST(Registry, InitFromPreviousRunRoundTrips) {
+  // Paper scenario 2: "t(m) and |m| functions are initialized with their
+  // corresponding final value of a previous execution".
+  EstimateRegistry first(0.5);
+  first.observe_duration(1, 6.4);
+  first.observe_duration(2, 0.04);
+  first.observe_cardinality(1, 5.0);
+  const Estimates exported = first.snapshot();
+
+  EstimateRegistry second(0.5);
+  second.init_from(exported);
+  EXPECT_DOUBLE_EQ(*second.t(1), 6.4);
+  EXPECT_DOUBLE_EQ(*second.t(2), 0.04);
+  EXPECT_DOUBLE_EQ(*second.cardinality(1), 5.0);
+  EXPECT_FALSE(second.cardinality(2).has_value());
+}
+
+TEST(Registry, ClearForgetsEverything) {
+  EstimateRegistry reg;
+  reg.observe_duration(1, 1.0);
+  reg.clear();
+  EXPECT_FALSE(reg.t(1).has_value());
+  EXPECT_EQ(reg.snapshot().size(), 0u);
+}
+
+TEST(Registry, ConcurrentObservationsDontCrashOrLose) {
+  EstimateRegistry reg(1.0);  // rho=1: final value = last observation
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int k = 0; k < 500; ++k) reg.observe_duration(t, 1.0 * k);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(*reg.t(t), 499.0);
+}
+
+TEST(Registry, RhoIsAppliedPerMuscle) {
+  EstimateRegistry reg(0.25);
+  reg.observe_duration(5, 0.0);
+  reg.observe_duration(5, 8.0);
+  EXPECT_DOUBLE_EQ(*reg.t(5), 2.0);  // 0.25*8 + 0.75*0
+}
+
+// ---------------------------------------------------- per-depth estimation --
+
+TEST(RegistryPerDepth, AggregateScopeIgnoresDepthOnLookup) {
+  EstimateRegistry reg(1.0, EstimationScope::kAggregate);
+  reg.observe_duration(1, /*depth=*/0, 6.4);
+  reg.observe_duration(1, /*depth=*/1, 0.9);
+  // Aggregate scope: depth-qualified lookups return the conflated EWMA.
+  EXPECT_DOUBLE_EQ(*reg.t(1, 0), 0.9);
+  EXPECT_DOUBLE_EQ(*reg.t(1, 1), 0.9);
+}
+
+TEST(RegistryPerDepth, PerDepthScopeSeparatesLevels) {
+  // The §5 conflation, resolved: the SHARED fs observed at depth 0 (6.4 s
+  // file read) and depth 1 (0.9 s chunk splits) keeps two estimates.
+  EstimateRegistry reg(1.0, EstimationScope::kPerDepth);
+  reg.observe_duration(1, 0, 6.4);
+  reg.observe_duration(1, 1, 0.9);
+  EXPECT_DOUBLE_EQ(*reg.t(1, 0), 6.4);
+  EXPECT_DOUBLE_EQ(*reg.t(1, 1), 0.9);
+  // Unseen depth falls back to the aggregate layer.
+  EXPECT_DOUBLE_EQ(*reg.t(1, 5), *reg.t(1));
+}
+
+TEST(RegistryPerDepth, CardinalitySeparatesToo) {
+  EstimateRegistry reg(1.0, EstimationScope::kPerDepth);
+  reg.observe_cardinality(2, 0, 5.0);
+  reg.observe_cardinality(2, 1, 6.0);
+  EXPECT_DOUBLE_EQ(*reg.cardinality(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(*reg.cardinality(2, 1), 6.0);
+}
+
+TEST(RegistryPerDepth, SnapshotCarriesBothLayersAndScope) {
+  EstimateRegistry reg(1.0, EstimationScope::kPerDepth);
+  reg.observe_duration(3, 2, 1.5);
+  const Estimates snap = reg.snapshot();
+  EXPECT_EQ(snap.scope(), EstimationScope::kPerDepth);
+  EXPECT_DOUBLE_EQ(*snap.t(3, 2), 1.5);
+  EXPECT_DOUBLE_EQ(*snap.t(3), 1.5);  // aggregate layer updated too
+}
+
+TEST(RegistryPerDepth, InitFromRestoresBothLayers) {
+  EstimateRegistry a(1.0, EstimationScope::kPerDepth);
+  a.observe_duration(4, 0, 10.0);
+  a.observe_duration(4, 1, 2.0);
+  EstimateRegistry b(1.0, EstimationScope::kPerDepth);
+  b.init_from(a.snapshot());
+  EXPECT_DOUBLE_EQ(*b.t(4, 0), 10.0);
+  EXPECT_DOUBLE_EQ(*b.t(4, 1), 2.0);
+}
+
+TEST(RegistryPerDepth, KeyRoundTrips) {
+  for (const int id : {0, 1, 17, 100000}) {
+    for (const int depth : {kAnyDepth, 0, 1, 63}) {
+      const std::int64_t key = estimate_key(id, depth);
+      EXPECT_EQ(estimate_key_muscle(key), id);
+      EXPECT_EQ(estimate_key_depth(key), depth);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace askel

@@ -1,0 +1,139 @@
+// Unit tests for events/: event vocabulary, listeners, bus dispatch.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "events/event_bus.hpp"
+
+namespace askel {
+namespace {
+
+Event make_event(When when, Where where, std::int64_t exec = 1) {
+  Event ev;
+  ev.when = when;
+  ev.where = where;
+  ev.exec_id = exec;
+  return ev;
+}
+
+TEST(EventEnums, ToString) {
+  EXPECT_EQ(to_string(When::kBefore), "BEFORE");
+  EXPECT_EQ(to_string(When::kAfter), "AFTER");
+  EXPECT_EQ(to_string(Where::kSkeleton), "SKELETON");
+  EXPECT_EQ(to_string(Where::kSplit), "SPLIT");
+  EXPECT_EQ(to_string(Where::kMerge), "MERGE");
+  EXPECT_EQ(to_string(Where::kCondition), "CONDITION");
+  EXPECT_EQ(to_string(Where::kNested), "NESTED");
+  EXPECT_EQ(to_string(Where::kExecute), "EXECUTE");
+}
+
+TEST(EventBus, DispatchWithNoListenersReturnsParam) {
+  EventBus bus;
+  const std::any out = bus.dispatch(std::any(42), make_event(When::kBefore, Where::kSkeleton));
+  EXPECT_EQ(std::any_cast<int>(out), 42);
+}
+
+TEST(EventBus, GenericListenerSeesEventAndParam) {
+  EventBus bus;
+  Event seen;
+  bus.add_listener(std::make_shared<GenericListener>(
+      [&seen](std::any p, const Event& ev) {
+        seen = ev;
+        return p;
+      }));
+  Event ev = make_event(When::kAfter, Where::kSplit, 9);
+  ev.cardinality = 3;
+  bus.dispatch(std::any(1), ev);
+  EXPECT_EQ(seen.when, When::kAfter);
+  EXPECT_EQ(seen.where, Where::kSplit);
+  EXPECT_EQ(seen.exec_id, 9);
+  EXPECT_EQ(seen.cardinality, 3);
+}
+
+TEST(EventBus, ListenerCanRewritePartialSolution) {
+  EventBus bus;
+  bus.add_listener(std::make_shared<GenericListener>(
+      [](std::any p, const Event&) { return std::any(std::any_cast<int>(p) + 1); }));
+  const std::any out = bus.dispatch(std::any(1), make_event(When::kBefore, Where::kExecute));
+  EXPECT_EQ(std::any_cast<int>(out), 2);
+}
+
+TEST(EventBus, ListenersChainInRegistrationOrder) {
+  EventBus bus;
+  bus.add_listener(std::make_shared<GenericListener>(
+      [](std::any p, const Event&) { return std::any(std::any_cast<int>(p) * 2); }));
+  bus.add_listener(std::make_shared<GenericListener>(
+      [](std::any p, const Event&) { return std::any(std::any_cast<int>(p) + 3); }));
+  const std::any out = bus.dispatch(std::any(5), make_event(When::kBefore, Where::kExecute));
+  EXPECT_EQ(std::any_cast<int>(out), 13);  // (5*2)+3, not (5+3)*2
+}
+
+TEST(EventBus, FilteredListenerOnlyFires) {
+  EventBus bus;
+  int hits = 0;
+  bus.add_listener(std::make_shared<FilteredListener>(
+      When::kAfter, Where::kMerge, [&hits](std::any p, const Event&) {
+        ++hits;
+        return p;
+      }));
+  bus.dispatch({}, make_event(When::kBefore, Where::kMerge));
+  bus.dispatch({}, make_event(When::kAfter, Where::kSplit));
+  bus.dispatch({}, make_event(When::kAfter, Where::kMerge));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventBus, ObserverListenerNeverTouchesParam) {
+  EventBus bus;
+  bus.add_listener(std::make_shared<ObserverListener>([](const Event&) {}));
+  const std::any out = bus.dispatch(std::any(std::string("x")),
+                                    make_event(When::kBefore, Where::kSkeleton));
+  EXPECT_EQ(std::any_cast<std::string>(out), "x");
+}
+
+TEST(EventBus, RemoveListenerStopsDelivery) {
+  EventBus bus;
+  int hits = 0;
+  const auto id = bus.add_listener(
+      std::make_shared<ObserverListener>([&hits](const Event&) { ++hits; }));
+  bus.dispatch({}, make_event(When::kBefore, Where::kSkeleton));
+  EXPECT_TRUE(bus.remove_listener(id));
+  bus.dispatch({}, make_event(When::kBefore, Where::kSkeleton));
+  EXPECT_EQ(hits, 1);
+  EXPECT_FALSE(bus.remove_listener(id));  // already gone
+}
+
+TEST(EventBus, ListenerCount) {
+  EventBus bus;
+  EXPECT_EQ(bus.listener_count(), 0u);
+  const auto a = bus.add_listener(std::make_shared<ObserverListener>([](const Event&) {}));
+  bus.add_listener(std::make_shared<ObserverListener>([](const Event&) {}));
+  EXPECT_EQ(bus.listener_count(), 2u);
+  bus.remove_listener(a);
+  EXPECT_EQ(bus.listener_count(), 1u);
+}
+
+TEST(EventBus, ConcurrentDispatchAndRegistrationIsSafe) {
+  EventBus bus;
+  std::atomic<long> hits{0};
+  bus.add_listener(std::make_shared<ObserverListener>([&hits](const Event&) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+  }));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&bus] {
+      for (int k = 0; k < 200; ++k)
+        bus.dispatch({}, Event{});
+    });
+  }
+  for (int k = 0; k < 50; ++k) {
+    const auto id =
+        bus.add_listener(std::make_shared<ObserverListener>([](const Event&) {}));
+    bus.remove_listener(id);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.load(), 800);
+}
+
+}  // namespace
+}  // namespace askel

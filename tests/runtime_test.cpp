@@ -1,0 +1,266 @@
+// Unit tests for runtime/: LP gauge and the resizable thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/thread_pool.hpp"
+
+namespace askel {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(LpGauge, TracksBusyAndPeak) {
+  ManualClock clock;
+  LpGauge g(&clock);
+  EXPECT_EQ(g.busy(), 0);
+  g.task_started();
+  g.task_started();
+  EXPECT_EQ(g.busy(), 2);
+  EXPECT_EQ(g.peak(), 2);
+  g.task_finished();
+  EXPECT_EQ(g.busy(), 1);
+  EXPECT_EQ(g.peak(), 2);
+}
+
+TEST(LpGauge, RecordsSeries) {
+  ManualClock clock;
+  LpGauge g(&clock);
+  g.task_started();
+  clock.advance(1.0);
+  g.task_finished();
+  const auto s = g.series().samples();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], (Sample{0.0, 1.0}));
+  EXPECT_EQ(s[1], (Sample{1.0, 0.0}));
+}
+
+TEST(LpGauge, ResetClears) {
+  LpGauge g;
+  g.task_started();
+  g.task_finished();
+  g.reset();
+  EXPECT_EQ(g.busy(), 0);
+  EXPECT_EQ(g.peak(), 0);
+  EXPECT_EQ(g.series().size(), 0u);
+}
+
+TEST(BusyScope, RaiiPairsStartFinish) {
+  LpGauge g;
+  {
+    BusyScope b(g);
+    EXPECT_EQ(g.busy(), 1);
+  }
+  EXPECT_EQ(g.busy(), 0);
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ResizableThreadPool pool(2, 4);
+  std::atomic<int> done{0};
+  for (int k = 0; k < 100; ++k) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ClampsInitialLp) {
+  ResizableThreadPool pool(99, 4);
+  EXPECT_EQ(pool.target_lp(), 4);
+  ResizableThreadPool pool2(0, 4);
+  EXPECT_EQ(pool2.target_lp(), 1);
+}
+
+TEST(ThreadPool, SetTargetLpClampsToBounds) {
+  ResizableThreadPool pool(1, 8);
+  EXPECT_EQ(pool.set_target_lp(100), 8);
+  EXPECT_EQ(pool.set_target_lp(-3), 1);
+}
+
+TEST(ThreadPool, TasksFromTasksComplete) {
+  ResizableThreadPool pool(1, 2);
+  std::atomic<int> done{0};
+  pool.submit([&] {
+    for (int k = 0; k < 10; ++k) pool.submit([&] { done.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, ConcurrencyIsBoundedByTargetLp) {
+  ResizableThreadPool pool(2, 8);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int k = 0; k < 16; ++k) {
+    pool.submit([&] {
+      const int c = concurrent.fetch_add(1) + 1;
+      int p = peak.load();
+      while (c > p && !peak.compare_exchange_weak(p, c)) {
+      }
+      std::this_thread::sleep_for(10ms);
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 2);  // enough work to saturate both workers
+}
+
+TEST(ThreadPool, GrowingLpIncreasesConcurrency) {
+  ResizableThreadPool pool(1, 8);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int k = 0; k < 24; ++k) {
+    pool.submit([&] {
+      const int c = concurrent.fetch_add(1) + 1;
+      int p = peak.load();
+      while (c > p && !peak.compare_exchange_weak(p, c)) {
+      }
+      std::this_thread::sleep_for(10ms);
+      concurrent.fetch_sub(1);
+    });
+  }
+  std::this_thread::sleep_for(20ms);
+  pool.set_target_lp(6);
+  pool.wait_idle();
+  EXPECT_GT(peak.load(), 2);
+  EXPECT_LE(peak.load(), 6);
+}
+
+TEST(ThreadPool, ShrinkTakesEffectAtTaskBoundary) {
+  ResizableThreadPool pool(4, 4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak_after_shrink{0};
+  std::atomic<bool> shrunk{false};
+  for (int k = 0; k < 40; ++k) {
+    pool.submit([&] {
+      const int c = concurrent.fetch_add(1) + 1;
+      if (shrunk.load()) {
+        int p = peak_after_shrink.load();
+        while (c > p && !peak_after_shrink.compare_exchange_weak(p, c)) {
+        }
+      }
+      std::this_thread::sleep_for(5ms);
+      concurrent.fetch_sub(1);
+    });
+  }
+  std::this_thread::sleep_for(12ms);
+  pool.set_target_lp(1);
+  shrunk.store(true);
+  pool.wait_idle();
+  // Tasks that started before the shrink may still be draining right at the
+  // flag flip; after that instant at most 1 + (lp_before - 1) finishing
+  // stragglers can overlap. The strict bound soon after is 1; allow the
+  // stragglers.
+  EXPECT_LE(peak_after_shrink.load(), 4);
+  EXPECT_EQ(pool.target_lp(), 1);
+}
+
+TEST(ThreadPool, SpawnsWorkersLazily) {
+  ResizableThreadPool pool(2, 16);
+  EXPECT_EQ(pool.spawned_workers(), 2);
+  pool.set_target_lp(5);
+  EXPECT_EQ(pool.spawned_workers(), 5);
+  pool.set_target_lp(2);
+  // Parked, not destroyed.
+  EXPECT_EQ(pool.spawned_workers(), 5);
+  pool.set_target_lp(4);
+  EXPECT_EQ(pool.spawned_workers(), 5);
+}
+
+TEST(ThreadPool, LpHistoryRecordsChanges) {
+  ResizableThreadPool pool(1, 8);
+  pool.set_target_lp(3);
+  pool.set_target_lp(3);  // no-op, not recorded
+  pool.set_target_lp(2);
+  const auto h = pool.lp_history().samples();
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0].value, 1.0);
+  EXPECT_EQ(h[1].value, 3.0);
+  EXPECT_EQ(h[2].value, 2.0);
+}
+
+TEST(ThreadPool, GaugeSeesBusyWorkers) {
+  ResizableThreadPool pool(3, 3);
+  std::atomic<int> go{0};
+  for (int k = 0; k < 3; ++k) {
+    pool.submit([&] {
+      go.fetch_add(1);
+      while (go.load() < 3) std::this_thread::yield();
+      std::this_thread::sleep_for(10ms);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(pool.gauge().peak(), 3);
+  EXPECT_EQ(pool.gauge().busy(), 0);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ResizableThreadPool pool(1, 1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ProvisionDelayPostponesEffectiveGrowth) {
+  ResizableThreadPool pool(1, 8);
+  pool.set_provision_delay(0.05);
+  pool.set_target_lp(4);
+  // The request is visible immediately; the workers join later.
+  EXPECT_EQ(pool.target_lp(), 4);
+  EXPECT_EQ(pool.effective_lp(), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(pool.effective_lp(), 4);
+}
+
+TEST(ThreadPool, ProvisionDelayDoesNotSlowShrink) {
+  ResizableThreadPool pool(4, 8);
+  pool.set_provision_delay(10.0);  // would take "forever" for growth
+  pool.set_target_lp(2);           // shrink is local parking: immediate
+  EXPECT_EQ(pool.target_lp(), 2);
+  EXPECT_EQ(pool.effective_lp(), 2);
+}
+
+TEST(ThreadPool, PendingProvisionIsCancelledOnDestruction) {
+  // Must not hang for the 10 s timer.
+  ResizableThreadPool pool(1, 8);
+  pool.set_provision_delay(10.0);
+  pool.set_target_lp(8);
+  EXPECT_EQ(pool.effective_lp(), 1);
+  // Destructor runs here and must cancel the timer promptly.
+}
+
+TEST(ThreadPool, StaleProvisionNeverExceedsLatestRequest) {
+  ResizableThreadPool pool(1, 8);
+  pool.set_provision_delay(0.05);
+  pool.set_target_lp(6);  // join scheduled for +50ms
+  pool.set_target_lp(2);  // immediate shrink; the pending 6 is now stale
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(pool.target_lp(), 2);
+  EXPECT_EQ(pool.effective_lp(), 2);  // the stale 6 must have been discarded
+}
+
+TEST(ThreadPool, WithoutDelayTargetAndEffectiveCoincide) {
+  ResizableThreadPool pool(2, 8);
+  pool.set_target_lp(5);
+  EXPECT_EQ(pool.target_lp(), 5);
+  EXPECT_EQ(pool.effective_lp(), 5);
+}
+
+TEST(ThreadPool, QueuedCountsBacklog) {
+  ResizableThreadPool pool(1, 1);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(5ms);
+  pool.submit([] {});
+  pool.submit([] {});
+  EXPECT_EQ(pool.queued(), 2u);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(pool.queued(), 0u);
+}
+
+}  // namespace
+}  // namespace askel

@@ -1,0 +1,432 @@
+// Tests for sm/: per-skeleton state machines (paper Figures 3 and 4), the
+// tracker set, and the full virtual-time replay of the paper's §4 example.
+
+#include <gtest/gtest.h>
+
+#include "adg/best_effort.hpp"
+#include "adg/limited_lp.hpp"
+#include "adg/timeline.hpp"
+#include "autonomic/decision.hpp"
+#include "workload/paper_example.hpp"
+#include "workload/wordcount.hpp"
+
+namespace askel {
+namespace {
+
+// Helper to synthesize events against real nodes.
+Event ev(const SkelNode* node, std::int64_t exec, std::int64_t parent, When when,
+         Where where, int muscle, double t, int card = -1, bool cond = false) {
+  Event e;
+  e.when = when;
+  e.where = where;
+  e.exec_id = exec;
+  e.parent_exec_id = parent;
+  e.node = node;
+  e.muscle_id = muscle;
+  e.timestamp = t;
+  e.cardinality = card;
+  e.condition_result = cond;
+  return e;
+}
+
+TEST(SeqSm, Figure3UpdatesDurationEstimate) {
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto skel = Seq(fe);
+  const SkelNode* n = skel.node().get();
+  EstimateRegistry reg(0.5);
+  TrackerSet ts(reg);
+
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kExecute, fe.m->id(), 10.0));
+  EXPECT_FALSE(reg.t(fe.m->id()).has_value());
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kExecute, fe.m->id(), 14.0));
+  EXPECT_DOUBLE_EQ(*reg.t(fe.m->id()), 4.0);
+  EXPECT_TRUE(ts.root_finished());
+
+  // Second instance blends with the EWMA: 0.5*8 + 0.5*4 = 6.
+  ts.on_event(ev(n, 2, -1, When::kBefore, Where::kExecute, fe.m->id(), 20.0));
+  ts.on_event(ev(n, 2, -1, When::kAfter, Where::kExecute, fe.m->id(), 28.0));
+  EXPECT_DOUBLE_EQ(*reg.t(fe.m->id()), 6.0);
+}
+
+TEST(SeqSm, IndexGuardKeepsInstancesSeparate) {
+  // Two interleaved seq instances (the [idx == i] guard of Figure 3): the
+  // after of instance B must not close instance A's record.
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto skel = Seq(fe);
+  const SkelNode* n = skel.node().get();
+  EstimateRegistry reg(1.0);
+  TrackerSet ts(reg);
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kExecute, fe.m->id(), 0.0));
+  ts.on_event(ev(n, 2, -1, When::kBefore, Where::kExecute, fe.m->id(), 5.0));
+  ts.on_event(ev(n, 2, -1, When::kAfter, Where::kExecute, fe.m->id(), 6.0));
+  EXPECT_DOUBLE_EQ(*reg.t(fe.m->id()), 1.0);  // only instance 2 closed
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kExecute, fe.m->id(), 10.0));
+  EXPECT_DOUBLE_EQ(*reg.t(fe.m->id()), 10.0);
+}
+
+TEST(MapSm, Figure4UpdatesSplitCardinalityAndMergeEstimates) {
+  auto fs = split_muscle<int, int>("fs", [](int) { return std::vector<int>{}; });
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto fm = merge_muscle<int, int>("fm", [](std::vector<int>) { return 0; });
+  auto skel = Map(fs, Seq(fe), fm);
+  const SkelNode* n = skel.node().get();
+  EstimateRegistry reg(0.5);
+  TrackerSet ts(reg);
+
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSkeleton, -1, 0.0));
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSplit, fs.m->id(), 0.0));
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kSplit, fs.m->id(), 10.0, 3));
+  EXPECT_DOUBLE_EQ(*reg.t(fs.m->id()), 10.0);
+  EXPECT_DOUBLE_EQ(*reg.cardinality(fs.m->id()), 3.0);
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kMerge, fm.m->id(), 60.0));
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kMerge, fm.m->id(), 65.0));
+  EXPECT_DOUBLE_EQ(*reg.t(fm.m->id()), 5.0);
+  EXPECT_FALSE(ts.root_finished());
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kSkeleton, -1, 65.0));
+  EXPECT_TRUE(ts.root_finished());
+}
+
+TEST(WhileSm, CountsTrueResultsAsCardinality) {
+  auto fc = condition_muscle<int>("fc", [](const int&) { return false; });
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto skel = While(fc, Seq(fe));
+  const SkelNode* n = skel.node().get();
+  EstimateRegistry reg(0.5);
+  TrackerSet ts(reg);
+
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSkeleton, -1, 0.0));
+  double t = 0.0;
+  for (const bool result : {true, true, true, false}) {
+    ts.on_event(ev(n, 1, -1, When::kBefore, Where::kCondition, fc.m->id(), t));
+    ts.on_event(
+        ev(n, 1, -1, When::kAfter, Where::kCondition, fc.m->id(), t + 1, -1, result));
+    t += 10;
+  }
+  EXPECT_DOUBLE_EQ(*reg.cardinality(fc.m->id()), 3.0);
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kSkeleton, -1, t));
+  EXPECT_TRUE(ts.root_finished());
+}
+
+TEST(DacSm, RootObservesDivideDepth) {
+  auto fc = condition_muscle<int>("fc", [](const int&) { return false; });
+  auto fs = split_muscle<int, int>("fs", [](int) { return std::vector<int>{}; });
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto fm = merge_muscle<int, int>("fm", [](std::vector<int>) { return 0; });
+  auto skel = DaC(fc, fs, Seq(fe), fm);
+  const SkelNode* n = skel.node().get();
+  const SkelNode* leaf = n->children()[0];
+  EstimateRegistry reg(0.5);
+  TrackerSet ts(reg);
+
+  // Root (exec 1) divides into two leaves (exec 2, 3): depth 1.
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSkeleton, -1, 0));
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kCondition, fc.m->id(), 0));
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kCondition, fc.m->id(), 1, -1, true));
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSplit, fs.m->id(), 1));
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kSplit, fs.m->id(), 2, 2));
+  for (std::int64_t child = 2; child <= 3; ++child) {
+    ts.on_event(ev(n, child, 1, When::kBefore, Where::kSkeleton, -1, 2));
+    ts.on_event(ev(n, child, 1, When::kBefore, Where::kCondition, fc.m->id(), 2));
+    ts.on_event(
+        ev(n, child, 1, When::kAfter, Where::kCondition, fc.m->id(), 3, -1, false));
+    const std::int64_t seq_exec = 10 + child;
+    ts.on_event(ev(leaf, seq_exec, child, When::kBefore, Where::kExecute,
+                   fe.m->id(), 3));
+    ts.on_event(ev(leaf, seq_exec, child, When::kAfter, Where::kExecute,
+                   fe.m->id(), 4));
+    ts.on_event(ev(n, child, 1, When::kAfter, Where::kSkeleton, -1, 4));
+  }
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kMerge, fm.m->id(), 5));
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kMerge, fm.m->id(), 6));
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kSkeleton, -1, 6));
+  EXPECT_DOUBLE_EQ(*reg.cardinality(fc.m->id()), 1.0);  // one divide level
+  EXPECT_TRUE(ts.root_finished());
+}
+
+TEST(ForkSm, TracksSplitAndMergeLikeMap) {
+  auto fs = split_muscle<int, int>("fs", [](int) { return std::vector<int>{}; });
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto fe2 = execute_muscle<int, int>("fe2", [](int x) { return x; });
+  auto fm = merge_muscle<int, int>("fm", [](std::vector<int>) { return 0; });
+  auto skel = Fork(fs, {Seq(fe), Seq(fe2)}, fm);
+  const SkelNode* n = skel.node().get();
+  EstimateRegistry reg(0.5);
+  TrackerSet ts(reg);
+
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSkeleton, -1, 0.0));
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSplit, fs.m->id(), 0.0));
+  ts.on_event(ev(n, 1, -1, When::kAfter, Where::kSplit, fs.m->id(), 4.0, 4));
+  EXPECT_DOUBLE_EQ(*reg.cardinality(fs.m->id()), 4.0);
+  // Snapshot with no started children: 4 expected elements cycling over the
+  // two branches (fe, fe2, fe, fe2) plus the pending merge.
+  reg.init_duration(fe.m->id(), 1.0);
+  reg.init_duration(fe2.m->id(), 2.0);
+  reg.init_duration(fm.m->id(), 0.5);
+  const AdgSnapshot g = ts.snapshot(4.0);
+  ASSERT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_EQ(g.size(), 6u);  // split + 4 elements + merge
+  EXPECT_TRUE(g.complete_estimates);
+  int fe_count = 0, fe2_count = 0;
+  for (const Activity& a : g.activities) {
+    fe_count += a.muscle_id == fe.m->id();
+    fe2_count += a.muscle_id == fe2.m->id();
+  }
+  EXPECT_EQ(fe_count, 2);
+  EXPECT_EQ(fe2_count, 2);
+}
+
+TEST(ForSm, RemainingIterationsAreExpanded) {
+  auto feM = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto body = Seq(feM);
+  auto skel = For(3, body);
+  const SkelNode* n = skel.node().get();
+  const SkelNode* seq = n->children()[0];
+  EstimateRegistry reg(0.5);
+  TrackerSet ts(reg);
+
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSkeleton, -1, 0.0));
+  // First body instance completes: 0..2.
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kNested, -1, 0.0));
+  ts.on_event(ev(seq, 2, 1, When::kBefore, Where::kExecute, feM.m->id(), 0.0));
+  ts.on_event(ev(seq, 2, 1, When::kAfter, Where::kExecute, feM.m->id(), 2.0));
+  const AdgSnapshot g = ts.snapshot(2.0);
+  // One done body + 2 expected bodies, chained.
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.count(ActivityState::kDone), 1u);
+  EXPECT_EQ(g.count(ActivityState::kPending), 2u);
+  EXPECT_EQ(g.activities[1].preds, std::vector<int>{0});
+  EXPECT_EQ(g.activities[2].preds, std::vector<int>{1});
+}
+
+TEST(PipeSm, SecondStageExpandsWhileFirstRuns) {
+  auto f1 = execute_muscle<int, int>("f1", [](int x) { return x; });
+  auto f2 = execute_muscle<int, int>("f2", [](int x) { return x; });
+  auto skel = Pipe(Seq(f1), Seq(f2));
+  const SkelNode* n = skel.node().get();
+  const SkelNode* s1 = n->children()[0];
+  EstimateRegistry reg(0.5);
+  TrackerSet ts(reg);
+  reg.init_duration(f1.m->id(), 3.0);
+  reg.init_duration(f2.m->id(), 4.0);
+
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSkeleton, -1, 0.0));
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kNested, -1, 0.0));
+  ts.on_event(ev(s1, 2, 1, When::kBefore, Where::kExecute, f1.m->id(), 1.0));
+  const AdgSnapshot g = ts.snapshot(2.0);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.activities[0].state, ActivityState::kRunning);
+  EXPECT_EQ(g.activities[1].state, ActivityState::kPending);
+  EXPECT_DOUBLE_EQ(g.activities[1].est_duration, 4.0);
+  EXPECT_EQ(g.activities[1].preds, std::vector<int>{0});
+}
+
+TEST(FarmSm, UnstartedChildIsExpanded) {
+  auto feM = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto skel = Farm(Seq(feM));
+  const SkelNode* n = skel.node().get();
+  EstimateRegistry reg(0.5);
+  TrackerSet ts(reg);
+  reg.init_duration(feM.m->id(), 2.5);
+  ts.on_event(ev(n, 1, -1, When::kBefore, Where::kSkeleton, -1, 0.0));
+  const AdgSnapshot g = ts.snapshot(0.0);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.activities[0].state, ActivityState::kPending);
+  EXPECT_DOUBLE_EQ(g.activities[0].est_duration, 2.5);
+}
+
+TEST(TrackerSet, DepthPropagatesThroughTheDynamicTree) {
+  auto fs = split_muscle<int, int>("fs", [](int) { return std::vector<int>{}; });
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto fm = merge_muscle<int, int>("fm", [](std::vector<int>) { return 0; });
+  auto inner = Map(fs, Seq(fe), fm);
+  auto outer = Map(fs, inner, fm);
+  const SkelNode* o = outer.node().get();
+  const SkelNode* i = o->children()[0];
+  const SkelNode* s = i->children()[0];
+  EstimateRegistry reg(0.5, EstimationScope::kPerDepth);
+  TrackerSet ts(reg);
+  ts.on_event(ev(o, 1, -1, When::kBefore, Where::kSkeleton, -1, 0.0));
+  ts.on_event(ev(i, 2, 1, When::kBefore, Where::kSkeleton, -1, 0.0));
+  ts.on_event(ev(s, 3, 2, When::kBefore, Where::kExecute, fe.m->id(), 0.0));
+  ts.on_event(ev(s, 3, 2, When::kAfter, Where::kExecute, fe.m->id(), 1.0));
+  // The seq sits at depth 2; its observation lands on (fe, depth 2).
+  EXPECT_TRUE(reg.t(fe.m->id(), 2).has_value());
+  EXPECT_DOUBLE_EQ(*reg.t(fe.m->id(), 2), 1.0);
+}
+
+TEST(TrackerSet, IgnoresEventsWithoutInstanceOrNode) {
+  EstimateRegistry reg;
+  TrackerSet ts(reg);
+  Event e;  // exec_id -1, node nullptr
+  ts.on_event(e);
+  EXPECT_EQ(ts.tracked_instances(), 0u);
+  EXPECT_EQ(ts.current_root(), nullptr);
+  EXPECT_FALSE(ts.root_finished());
+}
+
+TEST(TrackerSet, EmptySnapshotBeforeAnyEvent) {
+  EstimateRegistry reg;
+  TrackerSet ts(reg);
+  const AdgSnapshot g = ts.snapshot(0.0);
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(TrackerSet, ResetForgetsTrackersButKeepsEstimates) {
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto skel = Seq(fe);
+  EstimateRegistry reg(0.5);
+  TrackerSet ts(reg);
+  ts.on_event(ev(skel.node().get(), 1, -1, When::kBefore, Where::kExecute,
+                 fe.m->id(), 0.0));
+  ts.on_event(ev(skel.node().get(), 1, -1, When::kAfter, Where::kExecute,
+                 fe.m->id(), 2.0));
+  ts.reset();
+  EXPECT_EQ(ts.tracked_instances(), 0u);
+  EXPECT_DOUBLE_EQ(*reg.t(fe.m->id()), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Full replay of the paper's §4 example (Figures 1 and 2).
+// ---------------------------------------------------------------------------
+
+TEST(PaperReplay, EstimatesMatchThePaperValuesAt70) {
+  PaperExampleReplay r;
+  r.replay_until(70.0);
+  EXPECT_DOUBLE_EQ(*r.registry().t(r.skel().fs_id), 10.0);
+  EXPECT_DOUBLE_EQ(*r.registry().t(r.skel().fe_id), 15.0);
+  EXPECT_DOUBLE_EQ(*r.registry().t(r.skel().fm_id), 5.0);
+  EXPECT_DOUBLE_EQ(*r.registry().cardinality(r.skel().fs_id), 3.0);
+}
+
+TEST(PaperReplay, SnapshotAt70HasTheFigure1Shape) {
+  PaperExampleReplay r;
+  r.replay_until(70.0);
+  const AdgSnapshot g = r.snapshot(70.0);
+  ASSERT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_TRUE(g.complete_estimates);
+  // Done: outer split, 2 inner splits, 6 fe, merge1 = 10.
+  EXPECT_EQ(g.count(ActivityState::kDone), 10u);
+  // Running: merge2 (started at 70) and split3 (started at 65).
+  EXPECT_EQ(g.count(ActivityState::kRunning), 2u);
+  // Pending: 3 expected fe, merge3, outer merge.
+  EXPECT_EQ(g.count(ActivityState::kPending), 5u);
+}
+
+TEST(PaperReplay, SchedulesReproduceFigure1And2Numbers) {
+  PaperExampleReplay r;
+  r.replay_until(70.0);
+  const AdgSnapshot g = r.snapshot(70.0);
+  EXPECT_DOUBLE_EQ(best_effort(g).wct, 100.0);
+  EXPECT_DOUBLE_EQ(limited_lp(g, 2).wct, 115.0);
+  EXPECT_EQ(optimal_lp(g), 3);
+}
+
+TEST(PaperReplay, DecisionRaisesLpTo3ForGoal100) {
+  // The paper's closing sentence of §4.
+  PaperExampleReplay r;
+  r.replay_until(70.0);
+  const AdgSnapshot g = r.snapshot(70.0);
+  const Decision d = decide(g, /*goal_abs=*/100.0, /*current_lp=*/2, /*max_lp=*/24);
+  EXPECT_EQ(d.new_lp, 3);
+  EXPECT_EQ(d.reason, DecisionReason::kIncreaseToGoal);
+  EXPECT_DOUBLE_EQ(d.best_effort_wct, 100.0);
+  EXPECT_DOUBLE_EQ(d.current_lp_wct, 115.0);
+  EXPECT_EQ(d.optimal_lp, 3);
+}
+
+TEST(PaperReplay, EarlySnapshotIsIncompleteUntilFirstMergeRuns) {
+  // "the system has to wait until all muscles have been executed at least
+  //  once" — before the first merge, t(fm) is unknown.
+  PaperExampleReplay r;
+  r.replay_until(30.0);
+  const AdgSnapshot g = r.snapshot(30.0);
+  EXPECT_FALSE(g.complete_estimates);
+}
+
+TEST(PaperReplay, SnapshotBecomesCompleteExactlyAtFirstMerge) {
+  PaperExampleReplay r;
+  r.replay_until(69.0);
+  EXPECT_FALSE(r.snapshot(69.0).complete_estimates);  // merge1 still running
+  r.replay_until(70.0);
+  EXPECT_TRUE(r.snapshot(70.0).complete_estimates);
+}
+
+TEST(PaperReplay, FullReplayFinishesWithAllDoneAtWct115) {
+  PaperExampleReplay r;
+  r.replay_until(PaperExampleReplay::kTotalWct);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.trackers().root_finished());
+  const AdgSnapshot g = r.snapshot(115.0);
+  EXPECT_EQ(g.count(ActivityState::kDone), g.size());
+  EXPECT_DOUBLE_EQ(best_effort(g).wct, 115.0);
+  EXPECT_DOUBLE_EQ(limited_lp(g, 1).wct, 115.0);  // all past: LP irrelevant
+  // 1 outer split + 3×(split + 3 fe + merge) + outer merge = 17 activities.
+  EXPECT_EQ(g.size(), 17u);
+}
+
+TEST(PaperReplay, MidRunSnapshotAt40HasConsistentSchedules) {
+  PaperExampleReplay r;
+  r.replay_until(40.0);
+  const AdgSnapshot g = r.snapshot(40.0);
+  ASSERT_TRUE(g.validate().empty()) << g.validate();
+  // Limited-LP(k) is never better than best effort.
+  const double be = best_effort(g).wct;
+  for (int k = 1; k <= 4; ++k) EXPECT_GE(limited_lp(g, k).wct, be - 1e-9);
+}
+
+TEST(PaperReplay, ControllerClosesTheLoopDeterministically) {
+  // Full MAPE loop on virtual time: replay the paper's event stream into a
+  // TrackerSet + AutonomicController against a ManualClock and a real pool
+  // (whose LP the controller sets). With the WCT goal of 100, the first
+  // actionable evaluation — at the first merge, t=70 — must raise LP 2 → 3,
+  // the paper's §4 closing statement.
+  PaperExampleReplay r;
+  ManualClock clock(0.0);
+  ResizableThreadPool pool(2, 24, &clock);
+  AutonomicController controller(pool, r.trackers(), &clock, ControllerConfig{});
+  controller.arm(/*goal=*/100.0);
+
+  // Drive replay and controller together; the controller sees the same
+  // After-muscle cadence the bus would deliver.
+  for (const double t : {10.0, 20.0, 35.0, 50.0, 65.0, 69.0}) {
+    clock.set(t);
+    r.replay_until(t);
+    const Decision d = controller.evaluate_now();
+    // Estimates incomplete until the first merge: no action possible.
+    EXPECT_EQ(d.reason, DecisionReason::kIncompleteEstimates) << "t=" << t;
+    EXPECT_EQ(pool.target_lp(), 2);
+  }
+  clock.set(70.0);
+  r.replay_until(70.0);
+  const Decision d = controller.evaluate_now();
+  EXPECT_EQ(d.reason, DecisionReason::kIncreaseToGoal);
+  EXPECT_EQ(d.new_lp, 3);
+  EXPECT_EQ(pool.target_lp(), 3);
+  ASSERT_EQ(controller.actions().size(), 1u);
+  EXPECT_EQ(controller.actions()[0].from_lp, 2);
+  EXPECT_EQ(controller.actions()[0].to_lp, 3);
+}
+
+TEST(PaperReplay, InitializedRegistryMakesEarlySnapshotsComplete) {
+  // Scenario-2 mechanics: estimates from a previous run remove the warm-up.
+  // Each replay builds a fresh skeleton (fresh muscle ids), so the transfer
+  // goes through name-keyed estimates — exactly what a user restarting the
+  // application would persist.
+  PaperExampleReplay first;
+  first.replay_until(115.0);
+  const NamedEstimates exported =
+      export_named_estimates(first.registry(), *first.skel().outer);
+
+  PaperExampleReplay second;
+  init_named_estimates(second.registry(), *second.skel().outer, exported);
+  second.replay_until(10.0);  // only the outer split has finished
+  const AdgSnapshot g = second.snapshot(10.0);
+  EXPECT_TRUE(g.complete_estimates);
+  // With everything known up front the best-effort estimate of the whole run
+  // from t=10 is 10 + 10 + 15·(critical path 3 sequential fe) + 5 + 5 = wait —
+  // structure: inner split 10, fe 15 (parallel ∞), merge 5, outer merge 5.
+  EXPECT_DOUBLE_EQ(best_effort(g).wct, 45.0);
+}
+
+}  // namespace
+}  // namespace askel

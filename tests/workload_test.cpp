@@ -1,0 +1,202 @@
+// Tests for workload/: corpus generation, token extraction, the calibrated
+// wordcount skeleton, and the paper-example replay determinism.
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_example.hpp"
+#include "workload/wordcount.hpp"
+
+namespace askel {
+namespace {
+
+TEST(TweetCorpus, DeterministicForSameSeed) {
+  TweetCorpusConfig cfg;
+  cfg.num_tweets = 100;
+  EXPECT_EQ(generate_tweets(cfg), generate_tweets(cfg));
+}
+
+TEST(TweetCorpus, DifferentSeedsDiffer) {
+  TweetCorpusConfig a, b;
+  a.num_tweets = b.num_tweets = 100;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(generate_tweets(a), generate_tweets(b));
+}
+
+TEST(TweetCorpus, RespectsRequestedSize) {
+  TweetCorpusConfig cfg;
+  cfg.num_tweets = 321;
+  EXPECT_EQ(generate_tweets(cfg).size(), 321u);
+}
+
+TEST(TweetCorpus, TokensComeFromTheConfiguredVocabularies) {
+  TweetCorpusConfig cfg;
+  cfg.num_tweets = 200;
+  cfg.hashtag_vocab = 5;
+  cfg.user_vocab = 3;
+  for (const std::string& tweet : generate_tweets(cfg)) {
+    for (const std::string& tok : extract_tags_and_mentions(tweet)) {
+      if (tok[0] == '#') {
+        const int n = std::stoi(tok.substr(4));
+        EXPECT_LT(n, 5);
+      } else {
+        const int n = std::stoi(tok.substr(5));
+        EXPECT_LT(n, 3);
+      }
+    }
+  }
+}
+
+TEST(TweetCorpus, ZipfSkewMakesRankZeroMostCommon) {
+  TweetCorpusConfig cfg;
+  cfg.num_tweets = 5000;
+  cfg.zipf_s = 1.2;
+  Counts counts;
+  for (const std::string& tweet : generate_tweets(cfg))
+    for (std::string& tok : extract_tags_and_mentions(tweet)) ++counts[std::move(tok)];
+  long top = counts["#tag0"];
+  for (const auto& [tok, n] : counts) {
+    if (tok.rfind("#tag", 0) == 0) EXPECT_LE(n, top) << tok;
+  }
+}
+
+TEST(ExtractTokens, ParsesTagsAndMentions) {
+  const auto toks = extract_tags_and_mentions("hola #tag1 mundo @user2 fin");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "#tag1");
+  EXPECT_EQ(toks[1], "@user2");
+}
+
+TEST(ExtractTokens, EdgeCases) {
+  EXPECT_TRUE(extract_tags_and_mentions("").empty());
+  EXPECT_TRUE(extract_tags_and_mentions("plain words only").empty());
+  // Bare markers with no body are ignored.
+  EXPECT_TRUE(extract_tags_and_mentions("# @ #").empty());
+  // Token at end of string.
+  const auto toks = extract_tags_and_mentions("x #end");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0], "#end");
+}
+
+TEST(CountTokens, MatchesManualCount) {
+  auto tweets = std::make_shared<const std::vector<std::string>>(
+      std::vector<std::string>{"#a @b", "#a", "w #a @c"});
+  TweetDoc doc{tweets, 0, 3, 2, 1.0};
+  const Counts c = count_tokens(doc);
+  EXPECT_EQ(c.at("#a"), 3);
+  EXPECT_EQ(c.at("@b"), 1);
+  EXPECT_EQ(c.at("@c"), 1);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(CountTokens, RespectsRange) {
+  auto tweets = std::make_shared<const std::vector<std::string>>(
+      std::vector<std::string>{"#a", "#b", "#c"});
+  TweetDoc doc{tweets, 1, 2, 2, 1.0};
+  const Counts c = count_tokens(doc);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.at("#b"), 1);
+}
+
+TEST(PaperTimingsTest, SequentialWctMatchesThePaperAtScaleOne) {
+  PaperTimings t;
+  t.scale = 1.0;
+  // 6.4 + 5×(0.914 + 6×0.04 + 0.04) + 0.1 ≈ 12.47 — the paper's 12.5 s.
+  EXPECT_NEAR(t.sequential_wct(), 12.5, 0.15);
+}
+
+TEST(PaperTimingsTest, ScaleIsLinear) {
+  PaperTimings t;
+  t.scale = 1.0;
+  const double full = t.sequential_wct();
+  t.scale = 0.1;
+  EXPECT_NEAR(t.sequential_wct(), full * 0.1, 1e-9);
+}
+
+TEST(WordcountSkeletonTest, StructureMatchesListing1) {
+  PaperTimings t;
+  t.scale = 0.0;  // no sleeps
+  const WordcountSkeleton ws = make_wordcount_skeleton(t);
+  EXPECT_EQ(tree_size(*ws.skeleton.node()), 3u);  // map/map/seq
+  const auto muscles = tree_muscles(*ws.skeleton.node());
+  EXPECT_EQ(muscles.size(), 3u);  // fs and fm shared across levels
+}
+
+TEST(WordcountSkeletonTest, ComputesTheSameCountsAsSequentialReference) {
+  PaperTimings t;
+  t.scale = 0.0;
+  const WordcountSkeleton ws = make_wordcount_skeleton(t);
+  TweetCorpusConfig ccfg;
+  ccfg.num_tweets = 500;
+  auto tweets =
+      std::make_shared<const std::vector<std::string>>(generate_tweets(ccfg));
+  TweetDoc doc{tweets, 0, tweets->size(), 0, 1.0};
+
+  ResizableThreadPool pool(2, 4);
+  EventBus bus;
+  Engine engine(pool, bus);
+  const CountsPart out = ws.skeleton.input(doc, engine).get();
+  EXPECT_EQ(out.counts, count_tokens(doc));
+  EXPECT_EQ(out.level, 0);
+}
+
+TEST(WordcountSkeletonTest, SliceWeightsAreJitteredButBounded) {
+  PaperTimings t;
+  t.scale = 0.0;
+  const WordcountSkeleton ws = make_wordcount_skeleton(t, /*jitter_seed=*/7);
+  TweetCorpusConfig ccfg;
+  ccfg.num_tweets = 600;
+  auto tweets =
+      std::make_shared<const std::vector<std::string>>(generate_tweets(ccfg));
+
+  // Run the split muscle twice by hand to check weight determinism.
+  TweetDoc doc{tweets, 0, tweets->size(), 0, 1.0};
+  AnyVec outer1 = ws.fs->invoke(Any(doc));
+  AnyVec outer2 = ws.fs->invoke(Any(doc));
+  ASSERT_EQ(outer1.size(), 5u);
+  for (std::size_t k = 0; k < outer1.size(); ++k) {
+    const auto c1 = std::any_cast<TweetDoc>(outer1[k]);
+    AnyVec inner = ws.fs->invoke(Any(c1));
+    ASSERT_EQ(inner.size(), 6u);
+    for (const Any& sub : inner) {
+      const auto s = std::any_cast<TweetDoc>(sub);
+      EXPECT_GE(s.weight, 0.6);
+      EXPECT_LE(s.weight, 1.4);
+      EXPECT_EQ(s.level, 2);
+    }
+    const auto c2 = std::any_cast<TweetDoc>(outer2[k]);
+    EXPECT_EQ(c1.begin, c2.begin);
+    EXPECT_EQ(c1.end, c2.end);
+  }
+}
+
+TEST(PaperExampleTest, SkeletonSharesMusclesAcrossLevels) {
+  const PaperExampleSkeleton s = make_paper_example_skeleton();
+  EXPECT_EQ(tree_size(*s.outer), 3u);
+  EXPECT_EQ(s.outer->muscles()[0]->id(), s.fs_id);
+  EXPECT_EQ(s.inner->muscles()[0]->id(), s.fs_id);  // shared fs
+  EXPECT_EQ(s.outer->muscles()[1]->id(), s.fm_id);
+  EXPECT_EQ(s.inner->muscles()[1]->id(), s.fm_id);  // shared fm
+}
+
+TEST(PaperExampleTest, ReplayIsIdempotentPerTimePoint) {
+  PaperExampleReplay r;
+  r.replay_until(50.0);
+  const std::size_t left = r.remaining();
+  r.replay_until(50.0);  // same time again: nothing new
+  EXPECT_EQ(r.remaining(), left);
+  r.replay_until(40.0);  // going backwards is a no-op too
+  EXPECT_EQ(r.remaining(), left);
+}
+
+TEST(PaperExampleTest, RhoDoesNotMatterWhenObservationsAreConstant) {
+  for (const double rho : {0.1, 0.5, 1.0}) {
+    PaperExampleReplay r(rho);
+    r.replay_until(70.0);
+    EXPECT_DOUBLE_EQ(*r.registry().t(r.skel().fs_id), 10.0) << rho;
+    EXPECT_DOUBLE_EQ(*r.registry().t(r.skel().fe_id), 15.0) << rho;
+  }
+}
+
+}  // namespace
+}  // namespace askel
