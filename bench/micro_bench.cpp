@@ -45,6 +45,29 @@ void BM_EventDispatch_Listeners(benchmark::State& state) {
 }
 BENCHMARK(BM_EventDispatch_Listeners)->Arg(1)->Arg(4)->Arg(16);
 
+// Contended dispatch: every worker thread of a skeleton fires Before/After
+// events, so dispatch must not serialize the pool. The seed design took a
+// mutex and heap-copied the listener list per event; the RCU design reads an
+// atomic snapshot pointer.
+void BM_EventDispatch_Contended(benchmark::State& state) {
+  static EventBus* bus = nullptr;
+  if (state.thread_index() == 0) {
+    bus = new EventBus;
+    for (int k = 0; k < 4; ++k) {
+      bus->add_listener(std::make_shared<ObserverListener>([](const Event&) {}));
+    }
+  }
+  Event ev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus->dispatch(std::any(1), ev));
+  }
+  if (state.thread_index() == 0) {
+    delete bus;
+    bus = nullptr;
+  }
+}
+BENCHMARK(BM_EventDispatch_Contended)->Threads(4)->UseRealTime();
+
 // --------------------------------------------------------- skeleton layer --
 
 void BM_SkeletonOverhead_SeqNoop(benchmark::State& state) {
@@ -157,6 +180,54 @@ void BM_EstimatorObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimatorObserve);
 
+// Contended observes: state machines on different workers record different
+// muscles into ONE shared registry — the case the muscle-id-sharded locks
+// target (the seed serialized all of them on a single mutex).
+void BM_EstimatorObserve_Contended(benchmark::State& state) {
+  static EstimateRegistry* reg = nullptr;
+  if (state.thread_index() == 0) reg = new EstimateRegistry(0.5);
+  long k = 0;
+  const int base = state.thread_index() * 4;
+  for (auto _ : state) {
+    reg->observe_duration(base + static_cast<int>(k % 4), 1.0);
+    ++k;
+  }
+  if (state.thread_index() == 0) {
+    delete reg;
+    reg = nullptr;
+  }
+}
+BENCHMARK(BM_EstimatorObserve_Contended)->Threads(4)->UseRealTime();
+
+// Controller decision loop cost: back-to-back snapshots with no intervening
+// writes. The versioned registry must answer from its cached snapshot (O(1));
+// the seed deep-copied the whole stats map every call.
+void BM_EstimateSnapshot_Clean(benchmark::State& state) {
+  EstimateRegistry reg(0.5, EstimationScope::kPerDepth);
+  for (int m = 0; m < static_cast<int>(state.range(0)); ++m) {
+    reg.observe_duration(m, /*depth=*/0, 1.0);
+    reg.observe_cardinality(m, /*depth=*/0, 4.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot().size());
+  }
+}
+BENCHMARK(BM_EstimateSnapshot_Clean)->Arg(16)->Arg(128)->Arg(1024);
+
+// Write-then-snapshot: the cache is invalidated each iteration, so this is
+// the honest O(muscles) rebuild cost both before and after.
+void BM_EstimateSnapshot_Dirty(benchmark::State& state) {
+  EstimateRegistry reg(0.5);
+  for (int m = 0; m < static_cast<int>(state.range(0)); ++m) {
+    reg.observe_duration(m, 1.0);
+  }
+  for (auto _ : state) {
+    reg.observe_duration(0, 1.0);
+    benchmark::DoNotOptimize(reg.snapshot().size());
+  }
+}
+BENCHMARK(BM_EstimateSnapshot_Dirty)->Arg(16)->Arg(128);
+
 // ---------------------------------------------------------------- runtime --
 
 void BM_PoolResize(benchmark::State& state) {
@@ -178,6 +249,31 @@ void BM_PoolSubmitDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_PoolSubmitDrain);
+
+// Task churn at a given LP: roots fan out children from inside worker
+// threads, the shape of a Map/DaC expansion. With a single global mutex every
+// push/pop serializes, so adding workers adds contention instead of
+// throughput; per-worker deques + stealing keep the hot path local.
+void BM_PoolChurn(benchmark::State& state) {
+  const int lp = static_cast<int>(state.range(0));
+  ResizableThreadPool pool(lp, lp);
+  constexpr int kRoots = 16;
+  constexpr int kChildren = 64;
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    for (int r = 0; r < kRoots; ++r) {
+      pool.submit([&pool, &done] {
+        for (int c = 0; c < kChildren; ++c) {
+          pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(done.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kRoots * (kChildren + 1));
+}
+BENCHMARK(BM_PoolChurn)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 }  // namespace askel

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Perf-trajectory runner: builds Release, runs the hot-path microbenchmarks
+# and the WCT-algorithm comparison, and distills the numbers every perf PR
+# tracks into BENCH_PR1.json:
+#   * EventBus dispatch ns/op (0/1/4/16 listeners, 4-thread contended),
+#   * pool churn tasks/sec at LP in {1, 4, 8},
+#   * EstimateRegistry snapshot cost, clean (cached) vs dirty (rebuild).
+#
+# Usage: bench/run_bench.sh [output.json]   (default: BENCH_PR1.json in cwd)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out_json="${1:-BENCH_PR1.json}"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
+      -DASKEL_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${build_dir}" -j"$(nproc)" --target wct_algorithms >/dev/null
+
+if [[ ! -x "${build_dir}/micro_bench" ]]; then
+  if ! cmake --build "${build_dir}" -j"$(nproc)" --target micro_bench \
+       >/dev/null 2>&1; then
+    echo "google-benchmark not available: skipping micro_bench" >&2
+    echo '{"error": "micro_bench unavailable"}' > "${out_json}"
+    exit 0
+  fi
+fi
+
+raw_json="$(mktemp)"
+trap 'rm -f "${raw_json}"' EXIT
+
+"${build_dir}/micro_bench" \
+  --benchmark_filter='BM_EventDispatch|BM_PoolChurn|BM_PoolSubmitDrain|BM_EstimateSnapshot' \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json > "${raw_json}"
+
+# WCT algorithm comparison rides along for the scheduling-cost trajectory.
+"${build_dir}/wct_algorithms" > "${build_dir}/wct_algorithms.csv" || true
+
+python3 - "${raw_json}" "${out_json}" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
+
+def ns(name):
+    b = by_name.get(name)
+    return round(b["real_time"], 2) if b else None
+
+def items_per_sec(name):
+    b = by_name.get(name)
+    return round(b["items_per_second"]) if b and "items_per_second" in b else None
+
+out = {
+    "pr": 1,
+    "context": raw.get("context", {}),
+    "event_dispatch_ns": {
+        "no_listeners": ns("BM_EventDispatch_NoListeners"),
+        "listeners_1": ns("BM_EventDispatch_Listeners/1"),
+        "listeners_4": ns("BM_EventDispatch_Listeners/4"),
+        "listeners_16": ns("BM_EventDispatch_Listeners/16"),
+        "contended_4_threads": ns("BM_EventDispatch_Contended/real_time/threads:4"),
+    },
+    "pool_tasks_per_sec": {
+        "submit_drain_lp2": items_per_sec("BM_PoolSubmitDrain"),
+        "churn_lp1": items_per_sec("BM_PoolChurn/1/real_time"),
+        "churn_lp4": items_per_sec("BM_PoolChurn/4/real_time"),
+        "churn_lp8": items_per_sec("BM_PoolChurn/8/real_time"),
+    },
+    "estimate_snapshot_ns": {
+        "clean_16": ns("BM_EstimateSnapshot_Clean/16"),
+        "clean_128": ns("BM_EstimateSnapshot_Clean/128"),
+        "clean_1024": ns("BM_EstimateSnapshot_Clean/1024"),
+        "dirty_16": ns("BM_EstimateSnapshot_Dirty/16"),
+        "dirty_128": ns("BM_EstimateSnapshot_Dirty/128"),
+    },
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print(f"wrote {sys.argv[2]}")
+EOF

@@ -81,6 +81,12 @@ class Expander {
         if (!known) g_.complete_estimates = false;
         const int split_id = add_muscle(n.fs(), std::move(preds), ed);
         std::vector<int> merge_preds;
+        // Each branch typically contributes one terminal; reserving the
+        // known cardinality avoids O(log card) grow-and-copy cycles on
+        // large-ADG expansion. Capped by the activity limit: the loop stops
+        // there anyway, and an estimate gone wild must not allocate
+        // gigabytes up front.
+        merge_preds.reserve(reserve_hint(card));
         for (long k = 0; k < card; ++k) {
           if (g_.size() >= lim_.max_activities) {
             g_.truncated = true;
@@ -103,6 +109,7 @@ class Expander {
         const int split_id = add_muscle(*fs, std::move(preds), ed);
         const auto kids = n.children();
         std::vector<int> merge_preds;
+        merge_preds.reserve(reserve_hint(card));
         for (long k = 0; k < card; ++k) {
           if (g_.size() >= lim_.max_activities) {
             g_.truncated = true;
@@ -158,6 +165,7 @@ class Expander {
     if (!known) g_.complete_estimates = false;
     const int split_id = add_muscle(n.fs(), std::move(preds), ed);
     std::vector<int> merge_preds;
+    merge_preds.reserve(reserve_hint(branching));
     for (long k = 0; k < branching; ++k) {
       if (g_.size() >= lim_.max_activities) {
         g_.truncated = true;
@@ -174,6 +182,19 @@ class Expander {
  private:
   int add_muscle(const Muscle& m, std::vector<int> preds, int ed) {
     return add_pending_muscle(g_, est_, m, std::move(preds), ed);
+  }
+
+  std::size_t reserve_hint(long cardinality) const {
+    // Clamp in size_t (max_activities may legitimately be SIZE_MAX, "no
+    // cap") to the *remaining* activity budget — the merge loop truncates
+    // there anyway — and to a sane constant so a wild cardinality estimate
+    // never turns an optimization hint into a huge allocation.
+    constexpr std::size_t kMaxHint = 1 << 16;
+    const std::size_t want =
+        cardinality > 0 ? static_cast<std::size_t>(cardinality) : 0;
+    const std::size_t remaining =
+        lim_.max_activities > g_.size() ? lim_.max_activities - g_.size() : 0;
+    return std::min({want, remaining, kMaxHint});
   }
 
   const Estimates& est_;

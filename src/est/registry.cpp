@@ -16,14 +16,30 @@ int estimate_key_depth(std::int64_t key) {
 
 // -------------------------------------------------------------- Estimates --
 
+const Estimates::Map& Estimates::map() const {
+  static const Map kEmpty;
+  return entries_ ? *entries_ : kEmpty;
+}
+
+Estimates::Map& Estimates::mutable_map() {
+  if (!entries_) {
+    entries_ = std::make_shared<Map>();
+  } else if (entries_.use_count() > 1) {
+    entries_ = std::make_shared<Map>(*entries_);  // copy-on-shared-write
+  }
+  return *entries_;
+}
+
 std::optional<double> Estimates::t(int muscle_id) const {
-  const auto it = entries_.find(estimate_key(muscle_id, kAnyDepth));
-  return it == entries_.end() ? std::nullopt : it->second.t;
+  const Map& m = map();
+  const auto it = m.find(estimate_key(muscle_id, kAnyDepth));
+  return it == m.end() ? std::nullopt : it->second.t;
 }
 
 std::optional<double> Estimates::cardinality(int muscle_id) const {
-  const auto it = entries_.find(estimate_key(muscle_id, kAnyDepth));
-  return it == entries_.end() ? std::nullopt : it->second.card;
+  const Map& m = map();
+  const auto it = m.find(estimate_key(muscle_id, kAnyDepth));
+  return it == m.end() ? std::nullopt : it->second.card;
 }
 
 double Estimates::t_or(int muscle_id, double fallback) const {
@@ -36,49 +52,69 @@ double Estimates::cardinality_or(int muscle_id, double fallback) const {
 
 std::optional<double> Estimates::t(int muscle_id, int depth) const {
   if (scope_ == EstimationScope::kPerDepth) {
-    const auto it = entries_.find(estimate_key(muscle_id, depth));
-    if (it != entries_.end() && it->second.t) return it->second.t;
+    const Map& m = map();
+    const auto it = m.find(estimate_key(muscle_id, depth));
+    if (it != m.end() && it->second.t) return it->second.t;
   }
   return t(muscle_id);
 }
 
 std::optional<double> Estimates::cardinality(int muscle_id, int depth) const {
   if (scope_ == EstimationScope::kPerDepth) {
-    const auto it = entries_.find(estimate_key(muscle_id, depth));
-    if (it != entries_.end() && it->second.card) return it->second.card;
+    const Map& m = map();
+    const auto it = m.find(estimate_key(muscle_id, depth));
+    if (it != m.end() && it->second.card) return it->second.card;
   }
   return cardinality(muscle_id);
 }
 
 void Estimates::set(int muscle_id, Entry e) {
-  entries_[estimate_key(muscle_id, kAnyDepth)] = e;
+  mutable_map()[estimate_key(muscle_id, kAnyDepth)] = e;
 }
 
 void Estimates::set(int muscle_id, int depth, Entry e) {
-  entries_[estimate_key(muscle_id, depth)] = e;
+  mutable_map()[estimate_key(muscle_id, depth)] = e;
 }
+
+void Estimates::reserve(std::size_t n) { mutable_map().reserve(n); }
 
 // ------------------------------------------------------- EstimateRegistry --
 
 EstimateRegistry::EstimateRegistry(double rho, EstimationScope scope)
     : rho_(rho), scope_(scope) {}
 
-MuscleStats& EstimateRegistry::stats_locked(std::int64_t key) {
-  return stats_.try_emplace(key, rho_).first->second;
+EstimateRegistry::Shard& EstimateRegistry::shard_for(int muscle_id) const {
+  return shards_[static_cast<std::size_t>(muscle_id) % kShards];
+}
+
+MuscleStats& EstimateRegistry::stats_locked(Shard& s, std::int64_t key) {
+  return s.stats.try_emplace(key, rho_).first->second;
+}
+
+void EstimateRegistry::bump_version() {
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 void EstimateRegistry::observe_duration(int muscle_id, int depth, double seconds) {
-  std::lock_guard lock(mu_);
-  stats_locked(estimate_key(muscle_id, kAnyDepth)).observe_duration(seconds);
-  if (depth != kAnyDepth)
-    stats_locked(estimate_key(muscle_id, depth)).observe_duration(seconds);
+  Shard& s = shard_for(muscle_id);
+  {
+    std::lock_guard lock(s.mu);
+    stats_locked(s, estimate_key(muscle_id, kAnyDepth)).observe_duration(seconds);
+    if (depth != kAnyDepth)
+      stats_locked(s, estimate_key(muscle_id, depth)).observe_duration(seconds);
+  }
+  bump_version();
 }
 
 void EstimateRegistry::observe_cardinality(int muscle_id, int depth, double card) {
-  std::lock_guard lock(mu_);
-  stats_locked(estimate_key(muscle_id, kAnyDepth)).observe_cardinality(card);
-  if (depth != kAnyDepth)
-    stats_locked(estimate_key(muscle_id, depth)).observe_cardinality(card);
+  Shard& s = shard_for(muscle_id);
+  {
+    std::lock_guard lock(s.mu);
+    stats_locked(s, estimate_key(muscle_id, kAnyDepth)).observe_cardinality(card);
+    if (depth != kAnyDepth)
+      stats_locked(s, estimate_key(muscle_id, depth)).observe_cardinality(card);
+  }
+  bump_version();
 }
 
 void EstimateRegistry::observe_duration(int muscle_id, double seconds) {
@@ -98,80 +134,124 @@ void EstimateRegistry::init_cardinality(int muscle_id, double card) {
 }
 
 void EstimateRegistry::init_duration(int muscle_id, int depth, double seconds) {
-  std::lock_guard lock(mu_);
-  stats_locked(estimate_key(muscle_id, depth)).init_duration(seconds);
+  Shard& s = shard_for(muscle_id);
+  {
+    std::lock_guard lock(s.mu);
+    stats_locked(s, estimate_key(muscle_id, depth)).init_duration(seconds);
+  }
+  bump_version();
 }
 
 void EstimateRegistry::init_cardinality(int muscle_id, int depth, double card) {
-  std::lock_guard lock(mu_);
-  stats_locked(estimate_key(muscle_id, depth)).init_cardinality(card);
+  Shard& s = shard_for(muscle_id);
+  {
+    std::lock_guard lock(s.mu);
+    stats_locked(s, estimate_key(muscle_id, depth)).init_cardinality(card);
+  }
+  bump_version();
 }
 
 void EstimateRegistry::init_from(const Estimates& previous) {
-  std::lock_guard lock(mu_);
+  // All shards at once: readers must see the whole seeding or none of it,
+  // same atomicity the old single-mutex registry gave.
+  std::vector<std::unique_lock<std::mutex>> locks = lock_all_shards();
   for (const auto& [key, entry] : previous.entries()) {
-    MuscleStats& s = stats_locked(key);
-    if (entry.t) s.init_duration(*entry.t);
-    if (entry.card) s.init_cardinality(*entry.card);
+    Shard& s = shard_for(estimate_key_muscle(key));
+    MuscleStats& st = stats_locked(s, key);
+    if (entry.t) st.init_duration(*entry.t);
+    if (entry.card) st.init_cardinality(*entry.card);
   }
+  bump_version();
 }
 
-std::optional<double> EstimateRegistry::t_locked(std::int64_t key) const {
-  const auto it = stats_.find(key);
-  return it == stats_.end() ? std::nullopt : it->second.t();
+std::vector<std::unique_lock<std::mutex>> EstimateRegistry::lock_all_shards() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (Shard& s : shards_) locks.emplace_back(s.mu);
+  return locks;
 }
 
-std::optional<double> EstimateRegistry::card_locked(std::int64_t key) const {
-  const auto it = stats_.find(key);
-  return it == stats_.end() ? std::nullopt : it->second.cardinality();
+std::optional<double> EstimateRegistry::t_locked(const Shard& s, std::int64_t key) {
+  const auto it = s.stats.find(key);
+  return it == s.stats.end() ? std::nullopt : it->second.t();
+}
+
+std::optional<double> EstimateRegistry::card_locked(const Shard& s, std::int64_t key) {
+  const auto it = s.stats.find(key);
+  return it == s.stats.end() ? std::nullopt : it->second.cardinality();
 }
 
 std::optional<double> EstimateRegistry::t(int muscle_id) const {
-  std::lock_guard lock(mu_);
-  return t_locked(estimate_key(muscle_id, kAnyDepth));
+  const Shard& s = shard_for(muscle_id);
+  std::lock_guard lock(s.mu);
+  return t_locked(s, estimate_key(muscle_id, kAnyDepth));
 }
 
 std::optional<double> EstimateRegistry::cardinality(int muscle_id) const {
-  std::lock_guard lock(mu_);
-  return card_locked(estimate_key(muscle_id, kAnyDepth));
+  const Shard& s = shard_for(muscle_id);
+  std::lock_guard lock(s.mu);
+  return card_locked(s, estimate_key(muscle_id, kAnyDepth));
 }
 
 std::optional<double> EstimateRegistry::t(int muscle_id, int depth) const {
-  std::lock_guard lock(mu_);
+  const Shard& s = shard_for(muscle_id);
+  std::lock_guard lock(s.mu);
   if (scope_ == EstimationScope::kPerDepth) {
-    if (const auto v = t_locked(estimate_key(muscle_id, depth))) return v;
+    if (const auto v = t_locked(s, estimate_key(muscle_id, depth))) return v;
   }
-  return t_locked(estimate_key(muscle_id, kAnyDepth));
+  return t_locked(s, estimate_key(muscle_id, kAnyDepth));
 }
 
 std::optional<double> EstimateRegistry::cardinality(int muscle_id, int depth) const {
-  std::lock_guard lock(mu_);
+  const Shard& s = shard_for(muscle_id);
+  std::lock_guard lock(s.mu);
   if (scope_ == EstimationScope::kPerDepth) {
-    if (const auto v = card_locked(estimate_key(muscle_id, depth))) return v;
+    if (const auto v = card_locked(s, estimate_key(muscle_id, depth))) return v;
   }
-  return card_locked(estimate_key(muscle_id, kAnyDepth));
+  return card_locked(s, estimate_key(muscle_id, kAnyDepth));
 }
 
 Estimates EstimateRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard snap_lock(snap_mu_);
+  // Clean fast path: nothing written since the cache was built — return the
+  // cached snapshot unchanged (one shared_ptr bump, no shard locks).
+  if (cache_valid_ && cached_version_ == version_.load(std::memory_order_acquire)) {
+    return cached_snapshot_;
+  }
+  // Rebuild: hold every shard lock so the snapshot is one coherent cut
+  // across muscles (writers are fully excluded while we read the version).
+  // RAII locks: a bad_alloc during the build must not leave shards locked.
+  std::vector<std::unique_lock<std::mutex>> shard_locks = lock_all_shards();
+  const std::uint64_t v = version_.load(std::memory_order_acquire);
   Estimates out;
   out.set_scope(scope_);
-  for (const auto& [key, st] : stats_) {
-    // Reconstruct (id, depth) from the composite key.
-    const int id = estimate_key_muscle(key);
-    const int depth = estimate_key_depth(key);
-    if (depth == kAnyDepth) {
-      out.set(id, Estimates::Entry{st.t(), st.cardinality()});
-    } else {
-      out.set(id, depth, Estimates::Entry{st.t(), st.cardinality()});
+  std::size_t total = 0;
+  for (const Shard& s : shards_) total += s.stats.size();
+  out.reserve(total);
+  for (const Shard& s : shards_) {
+    for (const auto& [key, st] : s.stats) {
+      // Reconstruct (id, depth) from the composite key.
+      const int id = estimate_key_muscle(key);
+      const int depth = estimate_key_depth(key);
+      if (depth == kAnyDepth) {
+        out.set(id, Estimates::Entry{st.t(), st.cardinality()});
+      } else {
+        out.set(id, depth, Estimates::Entry{st.t(), st.cardinality()});
+      }
     }
   }
+  shard_locks.clear();
+  cached_snapshot_ = out;
+  cached_version_ = v;
+  cache_valid_ = true;
   return out;
 }
 
 void EstimateRegistry::clear() {
-  std::lock_guard lock(mu_);
-  stats_.clear();
+  // All shards at once: a concurrent snapshot must never see half a clear.
+  std::vector<std::unique_lock<std::mutex>> locks = lock_all_shards();
+  for (Shard& s : shards_) s.stats.clear();
+  bump_version();
 }
 
 }  // namespace askel

@@ -17,8 +17,21 @@
 //
 // Observations always record BOTH layers, so the scope can be chosen at
 // lookup time and snapshots carry everything.
+//
+// Concurrency layout (contention-free hot paths):
+//  * writes and point lookups lock only one of kShards muscle-id-sharded
+//    mutexes (both layers of a muscle live in the same shard), so state
+//    machines on different workers updating different muscles never contend;
+//  * every write bumps an atomic version counter;
+//  * snapshot() caches the last built `Estimates` and, while the version is
+//    unchanged, returns it again without touching the shards — O(1), no
+//    copy. `Estimates` itself is copy-on-write, so handing the cached
+//    snapshot out by value is one shared_ptr bump.
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -44,12 +57,21 @@ int estimate_key_muscle(std::int64_t key);
 int estimate_key_depth(std::int64_t key);
 
 /// Immutable value snapshot of the registry.
+///
+/// Copy-on-write: copies share the underlying entry map (copying an
+/// Estimates is one shared_ptr bump), and a mutation on a shared instance
+/// clones the map first. This keeps snapshot() value-semantic — callers may
+/// still hold or mutate their copy freely — while making the clean-snapshot
+/// fast path O(1). Mutating one instance concurrently with copying that same
+/// instance is not supported (value semantics, same as any standard
+/// container).
 class Estimates {
  public:
   struct Entry {
     std::optional<double> t;
     std::optional<double> card;
   };
+  using Map = std::unordered_map<std::int64_t, Entry>;
 
   /// Aggregate lookups (depth-less).
   std::optional<double> t(int muscle_id) const;
@@ -67,16 +89,21 @@ class Estimates {
   void set(int muscle_id, Entry e);
   /// Store a depth-specific entry.
   void set(int muscle_id, int depth, Entry e);
+  /// Pre-size the map for `n` entries before a bulk build.
+  void reserve(std::size_t n);
 
   EstimationScope scope() const { return scope_; }
   void set_scope(EstimationScope s) { scope_ = s; }
 
-  std::size_t size() const { return entries_.size(); }
-  const std::unordered_map<std::int64_t, Entry>& entries() const { return entries_; }
+  std::size_t size() const { return map().size(); }
+  const Map& entries() const { return map(); }
 
  private:
+  const Map& map() const;
+  Map& mutable_map();
+
   EstimationScope scope_ = EstimationScope::kAggregate;
-  std::unordered_map<std::int64_t, Entry> entries_;
+  std::shared_ptr<Map> entries_;  // null = empty; cloned on shared write
 };
 
 class EstimateRegistry {
@@ -106,20 +133,46 @@ class EstimateRegistry {
   std::optional<double> t(int muscle_id, int depth) const;
   std::optional<double> cardinality(int muscle_id, int depth) const;
 
+  /// Consistent snapshot of everything. O(1) when nothing was written since
+  /// the previous call (the controller's back-to-back decision case);
+  /// O(muscles) rebuild otherwise.
   Estimates snapshot() const;
+  /// Monotonic write counter; bumped by every observe/init/clear. Exposed
+  /// for tests and monitoring ("did anything change since I last looked?").
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
   double rho() const { return rho_; }
   EstimationScope scope() const { return scope_; }
   void clear();
 
  private:
-  MuscleStats& stats_locked(std::int64_t key);
-  std::optional<double> t_locked(std::int64_t key) const;
-  std::optional<double> card_locked(std::int64_t key) const;
+  // One shard per group of muscle ids; both layers (aggregate + per-depth)
+  // of a muscle live in its shard, so point lookups with depth fallback
+  // still take a single lock.
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::int64_t, MuscleStats> stats;
+  };
+  Shard& shard_for(int muscle_id) const;
+  /// Lock every shard (fixed index order; excludes all writers at once).
+  std::vector<std::unique_lock<std::mutex>> lock_all_shards() const;
+  MuscleStats& stats_locked(Shard& s, std::int64_t key);
+  static std::optional<double> t_locked(const Shard& s, std::int64_t key);
+  static std::optional<double> card_locked(const Shard& s, std::int64_t key);
+  void bump_version();
 
   double rho_;
   EstimationScope scope_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::int64_t, MuscleStats> stats_;
+  mutable std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> version_{0};
+
+  // Clean-snapshot cache, guarded by snap_mu_ (never taken by writers).
+  mutable std::mutex snap_mu_;
+  mutable Estimates cached_snapshot_;
+  mutable std::uint64_t cached_version_ = 0;
+  mutable bool cache_valid_ = false;
 };
 
 }  // namespace askel

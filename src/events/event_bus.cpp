@@ -4,36 +4,74 @@
 
 namespace askel {
 
+std::size_t EventBus::reader_slot() {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kReaderSlots;
+  return slot;
+}
+
+bool EventBus::readers_quiescent() const {
+  for (const PinSlot& s : readers_) {
+    if (s.pins.load(std::memory_order_seq_cst) != 0) return false;
+  }
+  return true;
+}
+
+void EventBus::publish_locked(std::unique_ptr<const EntryVec> next) {
+  // Ownership first, publication second: if push_back throws (bad_alloc on
+  // reallocation), current_ still points at the previous snapshot and the
+  // new vector unwinds cleanly — never the other way around.
+  snapshots_.push_back(std::move(next));
+  current_.store(snapshots_.back().get(), std::memory_order_seq_cst);
+  // Sweep: if no reader is pinned right now, every reader that could have
+  // loaded an older snapshot has finished (it pinned before loading), and
+  // later readers will load the vector just published — so everything but
+  // the published snapshot can go. If readers are in flight we simply keep
+  // the retired vectors for a later write's sweep (or the destructor).
+  if (snapshots_.size() > 1 && readers_quiescent()) {
+    snapshots_.erase(snapshots_.begin(), snapshots_.end() - 1);
+  }
+}
+
 std::uint64_t EventBus::add_listener(ListenerPtr listener) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(write_mu_);
   const std::uint64_t id = next_id_++;
-  entries_.push_back(Entry{id, std::move(listener)});
+  const EntryVec* cur = snapshots_.empty() ? nullptr : snapshots_.back().get();
+  auto next = std::make_unique<EntryVec>();
+  next->reserve((cur ? cur->size() : 0) + 1);
+  if (cur) *next = *cur;
+  next->push_back(Entry{id, std::move(listener)});
+  publish_locked(std::move(next));
   return id;
 }
 
 bool EventBus::remove_listener(std::uint64_t id) {
-  std::lock_guard lock(mu_);
-  const auto it = std::find_if(entries_.begin(), entries_.end(),
+  std::lock_guard lock(write_mu_);
+  const EntryVec* cur = snapshots_.empty() ? nullptr : snapshots_.back().get();
+  if (!cur) return false;
+  const auto it = std::find_if(cur->begin(), cur->end(),
                                [id](const Entry& e) { return e.id == id; });
-  if (it == entries_.end()) return false;
-  entries_.erase(it);
+  if (it == cur->end()) return false;  // unknown id: no copy, keep `cur`
+  auto next = std::make_unique<EntryVec>();
+  next->reserve(cur->size() - 1);
+  next->insert(next->end(), cur->begin(), it);
+  next->insert(next->end(), it + 1, cur->end());
+  publish_locked(std::move(next));
   return true;
 }
 
 std::size_t EventBus::listener_count() const {
-  std::lock_guard lock(mu_);
-  return entries_.size();
+  const ReadPin pin(*this);
+  return pin.get() ? pin.get()->size() : 0;
 }
 
 std::any EventBus::dispatch(std::any param, const Event& ev) const {
-  std::vector<ListenerPtr> snapshot;
-  {
-    std::lock_guard lock(mu_);
-    snapshot.reserve(entries_.size());
-    for (const Entry& e : entries_) snapshot.push_back(e.listener);
-  }
-  for (const ListenerPtr& l : snapshot) {
-    if (l->accepts(ev)) param = l->handle(std::move(param), ev);
+  const ReadPin pin(*this);
+  const EntryVec* snap = pin.get();
+  if (!snap) return param;
+  for (const Entry& e : *snap) {
+    if (e.listener->accepts(ev)) param = e.listener->handle(std::move(param), ev);
   }
   return param;
 }

@@ -3,9 +3,35 @@
 //
 // Dispatch happens on whichever worker thread emits the event; listeners are
 // invoked in registration order and each may replace the partial solution.
-// Registration/removal is safe concurrently with dispatch (dispatch works on
-// a snapshot of the listener list).
+// Registration/removal is safe concurrently with dispatch.
+//
+// Dispatch is the per-event hot path of the whole framework (every muscle
+// fires Before/After events from pool workers), so it is RCU-style
+// read-lock-free. The listener list is an immutable vector published
+// through an atomic pointer; writers build a fresh vector under a
+// writer-side mutex and retire the old one. Readers pin with a guard
+// counter *before* loading the pointer, so a retired vector is only freed
+// at a later write once no reader can still be inside it:
+//
+//   reader:  pin slot++  →  snap = current  →  ...  →  pin slot--
+//   writer:  publish next  →  if every pin slot reads 0, free retired
+//
+// (all seq_cst). If the writer reads a pin slot as 0, every reader pinned
+// in that slot that loaded the old pointer has finished; any reader
+// pinning later loads `current` after the publish and gets the new vector
+// — per slot, so the check holds across all slots. Pin counters are
+// striped across cacheline-padded per-thread slots, so concurrent
+// dispatchers on different cores don't ping-pong one counter line.
+// Readers never block, never allocate, and never touch a mutex; an
+// in-flight dispatch simply keeps running against the list as it was when
+// the event fired. Retired vectors pile up only while dispatches overlap
+// writes, and are swept by the next write (or the destructor). A listener
+// may add/remove listeners from inside handle(): the writer path never
+// waits on readers, so re-entrant mutation cannot deadlock.
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -18,6 +44,13 @@ class EventBus {
  public:
   using ListenerPtr = std::shared_ptr<Listener>;
 
+  EventBus() = default;
+  /// Callers must ensure no dispatch is in flight at destruction (same
+  /// contract as destroying any object while a method runs).
+  ~EventBus() = default;
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
   /// Register a listener; returns an id usable with remove_listener.
   std::uint64_t add_listener(ListenerPtr listener);
   /// Remove a previously registered listener. Returns false if unknown.
@@ -26,6 +59,8 @@ class EventBus {
 
   /// Invoke every accepting listener in registration order, threading the
   /// partial solution through them. Returns the final partial solution.
+  /// Steady-state cost: two guard-counter bumps and one atomic pointer
+  /// load; zero locks, zero allocations.
   std::any dispatch(std::any param, const Event& ev) const;
 
  private:
@@ -33,9 +68,49 @@ class EventBus {
     std::uint64_t id;
     ListenerPtr listener;
   };
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  std::uint64_t next_id_ = 1;
+  using EntryVec = std::vector<Entry>;
+
+  // One pin-counter stripe per group of threads; padded so dispatchers on
+  // different cores touch different cache lines.
+  static constexpr std::size_t kReaderSlots = 8;
+  struct alignas(64) PinSlot {
+    std::atomic<std::int64_t> pins{0};
+  };
+  /// Stable per-thread stripe index (round-robin assigned).
+  static std::size_t reader_slot();
+
+  /// RAII read-side pin: guarantees the vector loaded from current_ stays
+  /// allocated until destruction (exception-safe unpin).
+  class ReadPin {
+   public:
+    explicit ReadPin(const EventBus& bus)
+        : slot_(bus.readers_[reader_slot()]) {
+      slot_.pins.fetch_add(1, std::memory_order_seq_cst);
+      snap_ = bus.current_.load(std::memory_order_seq_cst);
+    }
+    ~ReadPin() { slot_.pins.fetch_sub(1, std::memory_order_seq_cst); }
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+    const EntryVec* get() const { return snap_; }
+
+   private:
+    PinSlot& slot_;
+    const EntryVec* snap_;
+  };
+
+  bool readers_quiescent() const;
+
+  /// Publish `next` as the current list and sweep retired vectors if no
+  /// reader is pinned. Caller holds write_mu_.
+  void publish_locked(std::unique_ptr<const EntryVec> next);
+
+  std::mutex write_mu_;  // serializes add/remove; never taken by dispatch
+  std::atomic<const EntryVec*> current_{nullptr};
+  mutable std::array<PinSlot, kReaderSlots> readers_;
+  // Every still-allocated snapshot, oldest first; back() is the published
+  // one. Guarded by write_mu_.
+  std::vector<std::unique_ptr<const EntryVec>> snapshots_;
+  std::uint64_t next_id_ = 1;  // guarded by write_mu_
 };
 
 }  // namespace askel

@@ -5,81 +5,299 @@
 
 namespace askel {
 
+namespace {
+
+// Identifies the pool worker running on this thread (if any) so submit() can
+// route nested tasks to the worker's own deque without any global lock.
+struct WorkerTls {
+  ResizableThreadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerTls tls_worker;
+
+}  // namespace
+
 ResizableThreadPool::ResizableThreadPool(int initial_lp, int max_lp, const Clock* clock)
     : clock_(clock), max_lp_(std::max(1, max_lp)), gauge_(clock) {
+  // All deque slots exist up front (stable addresses; stealers may scan any
+  // slot without synchronizing with worker spawns).
+  deques_.reserve(static_cast<std::size_t>(max_lp_));
+  for (int k = 0; k < max_lp_; ++k) deques_.push_back(std::make_unique<WorkDeque>());
   std::lock_guard lock(mu_);
-  target_lp_ = std::clamp(initial_lp, 1, max_lp_);
-  requested_lp_ = target_lp_;
-  lp_history_.record(clock_->now(), target_lp_);
-  spawn_locked(target_lp_);
+  const int lp = std::clamp(initial_lp, 1, max_lp_);
+  target_lp_.store(lp, std::memory_order_release);
+  requested_lp_.store(lp, std::memory_order_release);
+  lp_history_.record(clock_->now(), lp);
+  spawn_locked(lp);
 }
 
 ResizableThreadPool::~ResizableThreadPool() {
-  // Cancel pending provisioning first (jthread dtor requests stop + joins).
+  // Cancel pending provisioning first (jthread dtor requests stop + joins);
+  // no lock held, the timer bodies take mu_ themselves.
   provision_timers_.clear();
   {
     std::lock_guard lock(mu_);
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  work_cv_.notify_all();
+  park_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
 void ResizableThreadPool::submit(Task task) {
-  {
-    std::lock_guard lock(mu_);
-    assert(!stopping_ && "submit after shutdown");
-    queue_.push_back(std::move(task));
+  assert(!stopping_.load(std::memory_order_relaxed) && "submit after shutdown");
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  // Counted before the push so queued_ can never underflow when a worker
+  // takes the task (and decrements) between push and count. seq_cst pairs
+  // with the sleeper's `idle_sleepers_++; read queued_` sequence: either we
+  // see the sleeper (and notify), or the sleeper's predicate sees our
+  // increment (and does not sleep).
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  if (tls_worker.pool == this) {
+    deques_[static_cast<std::size_t>(tls_worker.index)]->push(std::move(task));
+  } else {
+    std::lock_guard lock(inject_mu_);
+    injected_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  maybe_wake_one();
+}
+
+void ResizableThreadPool::maybe_wake_one() {
+  // Wake throttle: rouse a sleeping worker only when no thief is already
+  // between wake-up and first find. Without this, a worker fanning out N
+  // children pays one futex wake (and, on a loaded machine, one context
+  // switch) per child; with it, wakes chain one at a time as each woken
+  // thief finds work. Liveness is unaffected: a runnable worker never goes
+  // to sleep while queued_ > 0 (the work_cv_ predicate re-checks), and a
+  // thief that gives up decrements searching_ before that re-check.
+  if (idle_sleepers_.load(std::memory_order_seq_cst) > 0 &&
+      searching_.load(std::memory_order_seq_cst) == 0) {
+    std::lock_guard lock(mu_);
+    work_cv_.notify_one();
+  }
+}
+
+bool ResizableThreadPool::try_get_task(int index, Task& out) {
+  // 1. Own deque, newest first: depth-first for nested skeletons — one map
+  //    chunk completes (and its merge runs) before the next chunk starts when
+  //    capacity is scarce. This matches the paper's §5 trace, where the first
+  //    inner merge lands right after the first chunk (7.6 s), not after all
+  //    splits.
+  if (deques_[static_cast<std::size_t>(index)]->pop(out)) {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  // 2. Injection queue, newest first (same LIFO order the old global deque
+  //    gave externally submitted tasks).
+  {
+    std::lock_guard lock(inject_mu_);
+    if (!injected_.empty()) {
+      out = std::move(injected_.back());
+      injected_.pop_back();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  // 3. Steal from a sibling — parked siblings included, so work never
+  //    strands on a deque whose owner got parked mid-expansion. Batch steal:
+  //    take the oldest task plus up to half of the victim's remainder, so
+  //    the wake-up that got us here is amortized over several tasks. The
+  //    batch is re-pushed to our own deque outside the victim's lock (no
+  //    two-deque lock nesting).
+  const int n = static_cast<int>(deques_.size());
+  std::vector<Task> batch;
+  for (int k = 1; k < n; ++k) {
+    const int victim = (index + k) % n;
+    if (deques_[static_cast<std::size_t>(victim)]->steal_batch(out, batch)) {
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      if (!batch.empty()) {
+        deques_[static_cast<std::size_t>(index)]->push_batch(batch);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void ResizableThreadPool::worker_loop(int index) {
+  tls_worker = WorkerTls{this, index};
+  bool searching = false;  // between work_cv_ wake-up and first find
+  // Busy-interval coalescing: back-to-back tasks are one busy interval on
+  // the gauge, and their inflight_ decrements are batched. A worker going
+  // busy→idle→busy within nanoseconds between consecutive tasks is a
+  // measurement artifact — the "Number of Active Threads" series of Figures
+  // 2/5/6/7 is a step function over wall-clock time, and coalescing keeps
+  // exactly those steps while removing two clock reads, two gauge records
+  // and one contended counter RMW per task. wait_idle() still can't return
+  // while any worker is busy: the batched decrement lands only after the
+  // gauge interval is closed.
+  bool busy_open = false;
+  std::int64_t completed = 0;
+  const auto flush_idle = [&] {
+    if (busy_open) {
+      busy_open = false;
+      gauge_.task_finished();
+    }
+    if (completed != 0) {
+      const std::int64_t n = completed;
+      completed = 0;
+      if (inflight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+        std::lock_guard lock(mu_);
+        idle_cv_.notify_all();
+      }
+    }
+  };
+  const auto stop_searching = [&] {
+    if (searching) {
+      searching = false;
+      searching_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  };
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      flush_idle();
+      return;
+    }
+    // Fast path: no pool-wide lock. A worker is runnable when its index is
+    // below the current target; the lowest-indexed workers always win, so
+    // shrink parks the newest ones.
+    if (index < target_lp_.load(std::memory_order_acquire)) {
+      Task task;
+      if (try_get_task(index, task)) {
+        // Chain the wake: a *woken* thief that found work rouses the next
+        // sleeper if work remains (one at a time, not a thundering herd).
+        // Ordinary local pops don't wake anyone — submits already did.
+        const bool was_searching = searching;
+        stop_searching();
+        if (was_searching && queued_.load(std::memory_order_relaxed) > 0) {
+          maybe_wake_one();
+        }
+        if (!busy_open) {
+          busy_open = true;
+          gauge_.task_started();
+        }
+        task();
+        ++completed;
+        continue;
+      }
+    }
+    // Slow path: park (surplus worker) or sleep until work arrives. The
+    // searching token is released *before* the predicate re-reads queued_,
+    // so a submit that skipped its wake because we were searching is always
+    // seen here.
+    stop_searching();
+    flush_idle();
+    std::unique_lock lock(mu_);
+    if (index >= target_lp_.load(std::memory_order_relaxed)) {
+      // Hand off before parking: we may have just released the searching
+      // token (suppressing a submit's wake), or consumed a work_cv_ notify
+      // meant for an in-range sleeper while our index fell out of range.
+      // Either way, if work is queued, re-issue the wake so it reaches a
+      // runnable worker. seq_cst pairs with submit's queued_++ / searching_
+      // read: one side always sees the other.
+      if (queued_.load(std::memory_order_seq_cst) > 0) work_cv_.notify_one();
+      park_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               index < target_lp_.load(std::memory_order_relaxed);
+      });
+    } else {
+      idle_sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      work_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               index >= target_lp_.load(std::memory_order_relaxed) ||
+               queued_.load(std::memory_order_seq_cst) > 0;
+      });
+      idle_sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      // Claim the searching token only when runnable: a worker woken
+      // because its index fell out of range is headed for park_cv_, and
+      // holding the token there would suppress submits' wakes for work it
+      // will never take.
+      if (!stopping_.load(std::memory_order_relaxed) &&
+          index < target_lp_.load(std::memory_order_relaxed)) {
+        searching = true;
+        searching_.fetch_add(1, std::memory_order_seq_cst);
+      }
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+  }
 }
 
 int ResizableThreadPool::set_target_lp(int n) {
   const int clamped = std::clamp(n, 1, max_lp_);
-  Duration delay = 0.0;
+  bool grew = false;
   {
     std::lock_guard lock(mu_);
-    if (clamped == requested_lp_ && clamped == target_lp_) return clamped;
-    requested_lp_ = clamped;
-    if (provision_delay_ > 0.0 && clamped > target_lp_) {
-      delay = provision_delay_;
-    } else {
-      apply_target_locked(clamped);
+    if (stopping_.load(std::memory_order_relaxed)) return clamped;
+    if (clamped == requested_lp_.load(std::memory_order_relaxed) &&
+        clamped == target_lp_.load(std::memory_order_relaxed)) {
+      return clamped;
     }
+    requested_lp_.store(clamped, std::memory_order_release);
+    if (provision_delay_ > 0.0 &&
+        clamped > target_lp_.load(std::memory_order_relaxed)) {
+      // Simulated remote-worker join: the effective LP catches up with the
+      // requested one only after the delay. Registered under the same mu_
+      // hold as the decision (no drop/re-take window against shutdown), and
+      // finished timers are reaped here so the vector stays bounded.
+      reap_finished_timers_locked();
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      std::jthread timer(
+          [this, clamped, delay = provision_delay_, done](std::stop_token st) {
+            const auto deadline = std::chrono::steady_clock::now() +
+                                  std::chrono::duration<double>(delay);
+            while (std::chrono::steady_clock::now() < deadline) {
+              if (st.stop_requested()) {
+                done->store(true, std::memory_order_release);
+                return;
+              }
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            bool applied = false;
+            {
+              std::lock_guard lock(mu_);
+              // A stale join must not exceed the latest request nor shrink a
+              // larger effective value.
+              if (!stopping_.load(std::memory_order_relaxed) &&
+                  clamped > target_lp_.load(std::memory_order_relaxed) &&
+                  clamped <= requested_lp_.load(std::memory_order_relaxed)) {
+                apply_target_locked(clamped);
+                applied = true;
+              }
+            }
+            if (applied) {
+              work_cv_.notify_all();
+              park_cv_.notify_all();
+            }
+            done->store(true, std::memory_order_release);
+          });
+      provision_timers_.push_back(ProvisionTimer{std::move(done), std::move(timer)});
+      return clamped;
+    }
+    grew = clamped > target_lp_.load(std::memory_order_relaxed);
+    apply_target_locked(clamped);
   }
-  if (delay > 0.0) {
-    // Simulated remote-worker join: the effective LP catches up with the
-    // requested one only after `delay`.
-    std::lock_guard lock(mu_);
-    if (stopping_) return clamped;
-    provision_timers_.emplace_back([this, clamped, delay](std::stop_token st) {
-      const auto deadline =
-          std::chrono::steady_clock::now() + std::chrono::duration<double>(delay);
-      while (std::chrono::steady_clock::now() < deadline) {
-        if (st.stop_requested()) return;
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
-      {
-        std::lock_guard lock(mu_);
-        // A stale join must not exceed the latest request nor shrink a
-        // larger effective value.
-        if (stopping_ || clamped <= target_lp_ || clamped > requested_lp_) return;
-        apply_target_locked(clamped);
-      }
-      cv_.notify_all();
-    });
-    return clamped;
-  }
-  cv_.notify_all();
+  // Wake parked workers on growth; wake idle sleepers in every case so
+  // workers whose index fell out of range re-park promptly.
+  if (grew) park_cv_.notify_all();
+  work_cv_.notify_all();
   return clamped;
 }
 
 int ResizableThreadPool::apply_target_locked(int n) {
-  target_lp_ = n;
+  target_lp_.store(n, std::memory_order_release);
   lp_history_.record(clock_->now(), n);
   const int want = n - static_cast<int>(workers_.size());
   if (want > 0) spawn_locked(want);
   return n;
+}
+
+void ResizableThreadPool::reap_finished_timers_locked() {
+  std::erase_if(provision_timers_, [](const ProvisionTimer& t) {
+    // `done` is the thread body's final act, so joining here (jthread dtor)
+    // is immediate and never waits on a thread that still wants mu_.
+    return t.done->load(std::memory_order_acquire);
+  });
 }
 
 void ResizableThreadPool::set_provision_delay(Duration d) {
@@ -93,13 +311,11 @@ Duration ResizableThreadPool::provision_delay() const {
 }
 
 int ResizableThreadPool::target_lp() const {
-  std::lock_guard lock(mu_);
-  return requested_lp_;
+  return requested_lp_.load(std::memory_order_acquire);
 }
 
 int ResizableThreadPool::effective_lp() const {
-  std::lock_guard lock(mu_);
-  return target_lp_;
+  return target_lp_.load(std::memory_order_acquire);
 }
 
 int ResizableThreadPool::spawned_workers() const {
@@ -108,47 +324,24 @@ int ResizableThreadPool::spawned_workers() const {
 }
 
 std::size_t ResizableThreadPool::queued() const {
-  std::lock_guard lock(mu_);
-  return queue_.size();
+  return queued_.load(std::memory_order_acquire);
+}
+
+std::uint64_t ResizableThreadPool::steals() const {
+  return steals_.load(std::memory_order_relaxed);
 }
 
 void ResizableThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+  idle_cv_.wait(lock, [&] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void ResizableThreadPool::spawn_locked(int count) {
-  for (int k = 0; k < count; ++k) {
+  for (int k = 0; k < count && static_cast<int>(workers_.size()) < max_lp_; ++k) {
     const int index = static_cast<int>(workers_.size());
     workers_.emplace_back([this, index] { worker_loop(index); });
-  }
-}
-
-void ResizableThreadPool::worker_loop(int index) {
-  std::unique_lock lock(mu_);
-  for (;;) {
-    // A worker is runnable when its index is below the current target; the
-    // lowest-indexed workers always win, so shrink parks the newest ones.
-    cv_.wait(lock, [&] {
-      return stopping_ || (index < target_lp_ && !queue_.empty());
-    });
-    if (stopping_) return;
-    // LIFO: newest task first. Skeleton children enqueue sub-tasks as they
-    // run, so LIFO yields depth-first execution — one map chunk completes
-    // (and its merge runs) before the next chunk starts when capacity is
-    // scarce. This matches the paper's §5 trace, where the first inner merge
-    // lands right after the first chunk (7.6 s), not after all splits.
-    Task task = std::move(queue_.back());
-    queue_.pop_back();
-    ++running_;
-    lock.unlock();
-    {
-      BusyScope busy(gauge_);
-      task();
-    }
-    lock.lock();
-    --running_;
-    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
   }
 }
 

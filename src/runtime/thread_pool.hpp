@@ -1,11 +1,24 @@
 #pragma once
-// Resizable worker pool: the "Level of Parallelism" (LP) actuator.
+// Resizable work-stealing worker pool: the "Level of Parallelism" (LP)
+// actuator.
 //
 // Skandium's autonomic layer adjusts the number of threads allocated to a
 // skeleton while it runs. This pool supports that: `set_target_lp(n)` takes
 // effect immediately for idle workers and at the next task boundary for busy
 // ones (a running muscle is never interrupted — same semantics as the Java
 // original, where a thread is only parked between tasks).
+//
+// Scheduling structure (contention-free hot path):
+//  * every worker owns a LIFO deque (`WorkDeque`); tasks submitted from
+//    inside a task go to the submitting worker's own deque, so in steady
+//    state submit/pop touch one uncontended lock and the pool-wide mutex is
+//    never taken;
+//  * tasks submitted from outside the pool land in a global injection queue;
+//  * a worker that runs dry drains the injection queue, then steals the
+//    oldest task from a sibling's deque (parked siblings included, so no
+//    work ever strands on a parked worker);
+//  * the pool-wide mutex `mu_` is control-plane only: LP changes, parking,
+//    sleeping and shutdown.
 //
 // Invariants:
 //  * at most `target_lp()` workers execute tasks concurrently;
@@ -15,14 +28,18 @@
 //    continuation-passing and never blocks a worker on a future, so a pool
 //    with LP=1 still makes progress on arbitrarily nested skeletons).
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "runtime/lp_gauge.hpp"
 #include "runtime/task.hpp"
+#include "runtime/work_queue.hpp"
 #include "util/clock.hpp"
 
 namespace askel {
@@ -39,8 +56,9 @@ class ResizableThreadPool {
   ResizableThreadPool(const ResizableThreadPool&) = delete;
   ResizableThreadPool& operator=(const ResizableThreadPool&) = delete;
 
-  /// Enqueue a task (executed in LIFO order: depth-first for nested
-  /// skeletons). Safe from any thread, including workers.
+  /// Enqueue a task. From a worker thread of this pool the task goes to that
+  /// worker's own LIFO deque (depth-first for nested skeletons, no global
+  /// lock); from any other thread it goes to the injection queue.
   void submit(Task task);
 
   /// Change the level of parallelism. Clamped to [1, max_lp]. Growing spawns
@@ -66,8 +84,12 @@ class ResizableThreadPool {
   int max_lp() const { return max_lp_; }
   /// Number of OS threads created so far (parked workers included).
   int spawned_workers() const;
-  /// Tasks waiting in the queue right now.
+  /// Tasks waiting in any queue (injection + all worker deques) right now.
   std::size_t queued() const;
+  /// Number of successful cross-worker steals since construction. A load
+  /// observability stat: steals measure how often workers ran dry and
+  /// migrated work, i.e. how unbalanced the task tree was.
+  std::uint64_t steals() const;
 
   /// Busy-worker gauge; feeds the Figures 5-7 "active threads" series.
   LpGauge& gauge() { return gauge_; }
@@ -77,7 +99,7 @@ class ResizableThreadPool {
   /// and to overlay controller decisions on the thread-activity plots.
   const TimeSeries& lp_history() const { return lp_history_; }
 
-  /// Block until the queue is empty and no worker is busy. Intended for
+  /// Block until every queue is empty and no worker is busy. Intended for
   /// tests and examples; the skeleton engine uses per-execution futures.
   void wait_idle();
 
@@ -85,23 +107,40 @@ class ResizableThreadPool {
   void worker_loop(int index);
   void spawn_locked(int count);
   int apply_target_locked(int n);
+  bool try_get_task(int index, Task& out);
+  void maybe_wake_one();
+  void reap_finished_timers_locked();
 
   const Clock* clock_;
   const int max_lp_;
   LpGauge gauge_;
   TimeSeries lp_history_;
 
+  // ---- data plane: per-worker deques + injection queue, no global mutex ----
+  std::vector<std::unique_ptr<WorkDeque>> deques_;  // max_lp_ slots, fixed
+  std::mutex inject_mu_;
+  std::deque<Task> injected_;
+  std::atomic<std::size_t> queued_{0};     // tasks waiting in any queue
+  std::atomic<std::int64_t> inflight_{0};  // queued + currently running
+  std::atomic<int> idle_sleepers_{0};      // runnable workers asleep on work_cv_
+  std::atomic<int> searching_{0};          // thieves between wake-up and find
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<int> requested_lp_{1};
+  std::atomic<int> target_lp_{1};  // effective: what the worker predicate enforces
+  std::atomic<bool> stopping_{false};
+
+  // ---- control plane: LP changes, parking, sleeping, shutdown --------------
+  struct ProvisionTimer {
+    std::shared_ptr<std::atomic<bool>> done;  // set as the thread's last act
+    std::jthread thread;                      // destroyed first: stop + join
+  };
   mutable std::mutex mu_;
-  std::condition_variable cv_;        // workers wait for tasks / unpark
-  std::condition_variable idle_cv_;   // wait_idle()
-  std::deque<Task> queue_;
+  std::condition_variable work_cv_;  // runnable workers wait for tasks here
+  std::condition_variable park_cv_;  // surplus workers wait for LP growth here
+  std::condition_variable idle_cv_;  // wait_idle()
   std::vector<std::thread> workers_;
-  std::vector<std::jthread> provision_timers_;
+  std::vector<ProvisionTimer> provision_timers_;
   Duration provision_delay_ = 0.0;
-  int requested_lp_ = 1;
-  int target_lp_ = 1;  // effective: what the worker predicate enforces
-  int running_ = 0;  // workers currently executing a task
-  bool stopping_ = false;
 };
 
 }  // namespace askel

@@ -105,7 +105,16 @@ void TrackerSet::on_event(const Event& ev) {
 }
 
 EventBus::ListenerPtr TrackerSet::as_listener() {
-  return std::make_shared<ObserverListener>([this](const Event& ev) { on_event(ev); });
+  // One shared adapter for the set's lifetime: repeated registration (e.g. a
+  // bus per run sharing one TrackerSet) must not allocate a fresh listener
+  // each time. Delivery semantics are unchanged — registering the same
+  // adapter twice still yields two registration-order slots.
+  std::lock_guard lock(mu_);
+  if (!listener_) {
+    listener_ = std::make_shared<ObserverListener>(
+        [this](const Event& ev) { on_event(ev); });
+  }
+  return listener_;
 }
 
 AdgSnapshot TrackerSet::snapshot(TimePoint now) const {

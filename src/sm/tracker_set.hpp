@@ -44,6 +44,7 @@ class TrackerSet {
  private:
   mutable std::mutex mu_;
   EstimateRegistry& reg_;
+  EventBus::ListenerPtr listener_;  // lazily-built shared bus adapter
   std::unordered_map<std::int64_t, TrackerPtr> by_exec_;
   std::vector<TrackerPtr> roots_;
 };

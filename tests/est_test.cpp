@@ -208,6 +208,45 @@ TEST(RegistryPerDepth, InitFromRestoresBothLayers) {
   EXPECT_DOUBLE_EQ(*b.t(4, 1), 2.0);
 }
 
+// ------------------------------------------------- versioned snapshotting --
+
+TEST(RegistryVersion, WritesBumpReadsDoNot) {
+  EstimateRegistry reg(0.5);
+  const std::uint64_t v0 = reg.version();
+  reg.observe_duration(1, 2.0);
+  EXPECT_GT(reg.version(), v0);
+  const std::uint64_t v1 = reg.version();
+  (void)reg.t(1);
+  (void)reg.snapshot();
+  (void)reg.snapshot();
+  EXPECT_EQ(reg.version(), v1);  // lookups and snapshots are pure reads
+  reg.clear();
+  EXPECT_GT(reg.version(), v1);
+}
+
+TEST(RegistryVersion, CleanSnapshotsShareStorage) {
+  EstimateRegistry reg(0.5);
+  for (int m = 0; m < 100; ++m) reg.observe_duration(m, 1.0);
+  const Estimates a = reg.snapshot();
+  const Estimates b = reg.snapshot();  // clean: cached, O(1)
+  // COW: both snapshots expose the same underlying map object.
+  EXPECT_EQ(&a.entries(), &b.entries());
+  // A write invalidates the cache; the next snapshot is a fresh map.
+  reg.observe_duration(0, 5.0);
+  const Estimates c = reg.snapshot();
+  EXPECT_NE(&a.entries(), &c.entries());
+  EXPECT_DOUBLE_EQ(*a.t(0), 1.0);  // old snapshots are immune to the write
+}
+
+TEST(RegistryVersion, MutatingASnapshotCopyDetachesIt) {
+  EstimateRegistry reg(1.0);
+  reg.observe_duration(7, 3.0);
+  Estimates snap = reg.snapshot();
+  snap.set(7, Estimates::Entry{9.0, std::nullopt});  // COW: detaches
+  EXPECT_DOUBLE_EQ(*snap.t(7), 9.0);
+  EXPECT_DOUBLE_EQ(*reg.snapshot().t(7), 3.0);  // registry cache untouched
+}
+
 TEST(RegistryPerDepth, KeyRoundTrips) {
   for (const int id : {0, 1, 17, 100000}) {
     for (const int depth : {kAnyDepth, 0, 1, 63}) {

@@ -113,6 +113,23 @@ TEST(EventBus, ListenerCount) {
   EXPECT_EQ(bus.listener_count(), 1u);
 }
 
+TEST(EventBus, ListenerMayRegisterAnotherDuringDispatch) {
+  // Dispatch never holds the writer lock, so a listener that mutates the
+  // bus from inside handle() must neither deadlock nor affect the in-flight
+  // dispatch (RCU: the running dispatch keeps its snapshot).
+  EventBus bus;
+  int late_hits = 0;
+  bus.add_listener(std::make_shared<ObserverListener>([&](const Event&) {
+    bus.add_listener(std::make_shared<ObserverListener>(
+        [&late_hits](const Event&) { ++late_hits; }));
+  }));
+  bus.dispatch({}, make_event(When::kBefore, Where::kSkeleton));
+  EXPECT_EQ(late_hits, 0);  // not visible to the dispatch that added it
+  EXPECT_EQ(bus.listener_count(), 2u);
+  bus.dispatch({}, make_event(When::kBefore, Where::kSkeleton));
+  EXPECT_EQ(late_hits, 1);  // visible to the next dispatch
+}
+
 TEST(EventBus, ConcurrentDispatchAndRegistrationIsSafe) {
   EventBus bus;
   std::atomic<long> hits{0};

@@ -208,6 +208,14 @@ TEST(Controller, PerDepthEstimationSeparatesSharedSplitLevels) {
 }
 
 TEST(Controller, PerDepthScenarioMeetsGoalWithoutRamping) {
+#ifdef ASKEL_TSAN
+  // The assertion below is about *wall-clock* controller behavior: muscle
+  // durations must track their estimates. ThreadSanitizer's ~10x
+  // nondeterministic slowdown inflates framework time between the timed
+  // sleeps, so estimate drift triggers ramping that never happens in real
+  // builds. Race coverage for these code paths lives in stress_test.cpp.
+  GTEST_SKIP() << "wall-clock assertion unreliable under TSan";
+#endif
   // With accurate per-depth estimates the controller computes exact minimal
   // allocations instead of blind ramping (see bench/ablation_context).
   ScenarioConfig cfg = tiny_scenario(9.5);

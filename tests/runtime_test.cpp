@@ -247,6 +247,44 @@ TEST(ThreadPool, WithoutDelayTargetAndEffectiveCoincide) {
   EXPECT_EQ(pool.effective_lp(), 5);
 }
 
+TEST(ThreadPool, StealsMoveWorkAcrossWorkers) {
+  // One worker fans out children onto its own deque then blocks inside its
+  // task; the other runnable worker must steal the children.
+  ResizableThreadPool pool(2, 2);
+  std::atomic<int> done{0};
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    for (int k = 0; k < 8; ++k) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (done.load() < 8 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(done.load(), 8);  // completed while the fanning worker is pinned
+  EXPECT_GE(pool.steals(), 1u);
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, RepeatedDelayedGrowthDoesNotAccumulateState) {
+  // Regression guard for the provision-timer leak: every delayed grow used
+  // to append a jthread that was never reaped. After many grow/shrink
+  // cycles the pool must still resize correctly and shut down promptly.
+  ResizableThreadPool pool(1, 8);
+  pool.set_provision_delay(0.01);
+  for (int k = 0; k < 30; ++k) {
+    pool.set_target_lp(4);
+    pool.set_target_lp(1);
+  }
+  pool.set_target_lp(6);
+  std::this_thread::sleep_for(60ms);
+  EXPECT_EQ(pool.effective_lp(), 6);
+  // Destructor must cancel any stragglers without hanging.
+}
+
 TEST(ThreadPool, QueuedCountsBacklog) {
   ResizableThreadPool pool(1, 1);
   std::atomic<bool> release{false};
