@@ -1,0 +1,143 @@
+// Multi-tenant benchmark: K=4 concurrent wordcount skeletons — each with its
+// own controller, goal and arrival time — sharing one pool through the
+// LpBudgetCoordinator (budget 8 of a 16-thread pool).
+//
+// Tenants 1-3 have goals feasible at fair-share LP (budget/K = 2); tenant 4's
+// goal is only reachable with more than its fair share, so it exercises the
+// deadline-pressure arbitration. Emits one JSON object on stdout (consumed by
+// bench/run_bench.sh into BENCH_PR<N>.json) and enforces:
+//   * sum of granted LP never exceeds the budget (always),
+//   * every fair-share-feasible tenant meets its goal (skipped in --smoke,
+//     which runs tiny inputs and makes no timing assertions).
+//
+// Usage: multi_tenant [--smoke] [--scale X] [--budget N]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autonomic/coordinator.hpp"
+#include "util/csv.hpp"
+#include "workload/wordcount.hpp"
+
+using namespace askel;
+
+namespace {
+
+struct TenantSpec {
+  double goal = 0.0;  // paper-scale seconds
+  bool feasible_at_fair_share = false;
+};
+
+/// Graham-bound WCT (paper-scale seconds) of the wordcount profile at a fixed
+/// LP — the analytic yardstick for "feasible at fair-share LP". Structure:
+/// serial outer split, then outer_chunks independent chains (inner split ->
+/// inner_chunks executes -> inner merge) whose makespan on `lp` workers is at
+/// least max(total_work / lp, critical_path), then the outer merge. Feasible
+/// goals carry >= 25% slack over this bound to absorb the list-scheduling gap.
+double wct_at_lp(const PaperTimings& t, int lp) {
+  const double chunk_work =
+      t.inner_split + t.inner_chunks * t.execute + t.inner_merge;
+  const double total_work = t.outer_chunks * chunk_work;
+  const double critical_path = t.inner_split + t.execute + t.inner_merge;
+  const double middle = std::max(total_work / lp, critical_path);
+  return t.outer_split + middle + t.outer_merge;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double scale = 0.05;
+  int budget = 8;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[k], "--scale") == 0 && k + 1 < argc) {
+      scale = std::atof(argv[++k]);
+    } else if (std::strcmp(argv[k], "--budget") == 0 && k + 1 < argc) {
+      budget = std::atoi(argv[++k]);
+    }
+  }
+  if (scale <= 0.0) scale = 0.05;   // atof garbage => defaults, not div-by-0
+  if (budget < 1) budget = 8;       // atoi garbage => default, not a 0 cap
+  if (smoke) scale = std::min(scale, 0.012);
+
+  PaperTimings timings;
+  timings.scale = scale;
+  constexpr int kTenants = 4;
+  const int fair_share = std::max(1, budget / kTenants);
+  const double fair_wct_paper = wct_at_lp(timings, fair_share);
+
+  // Goals in paper-scale seconds. 1-3 clear the fair-share bound with >=25%
+  // slack; tenant 4 is deliberately under it (needs extra LP => pressure).
+  std::vector<TenantSpec> specs(kTenants);
+  specs[0] = TenantSpec{fair_wct_paper * 1.45, true};
+  specs[1] = TenantSpec{fair_wct_paper * 1.35, true};
+  specs[2] = TenantSpec{fair_wct_paper * 1.25, true};
+  specs[3] = TenantSpec{fair_wct_paper * 0.85, false};
+
+  ResizableThreadPool pool(1, 16);
+  LpBudgetCoordinator coord(pool, budget);
+
+  std::vector<ScenarioResult> results(kTenants);
+  std::vector<std::thread> runners;
+  const double stagger = 0.75 * scale;  // arrival spacing, seconds
+  for (int k = 0; k < kTenants; ++k) {
+    runners.emplace_back([&, k] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(stagger * k));
+      ScenarioConfig cfg;
+      cfg.timings = timings;
+      cfg.corpus.num_tweets = smoke ? 200 : 800;
+      cfg.wct_goal = specs[static_cast<std::size_t>(k)].goal;
+      cfg.max_lp = 16;
+      cfg.shared_pool = &pool;
+      cfg.coordinator = &coord;
+      results[static_cast<std::size_t>(k)] = run_wordcount_scenario(cfg);
+    });
+  }
+  for (std::thread& t : runners) t.join();
+
+  const int peak_total = coord.peak_total_granted();
+  const bool budget_held = peak_total <= budget;
+  bool correct = true, feasible_met = true;
+  for (int k = 0; k < kTenants; ++k) {
+    const ScenarioResult& r = results[static_cast<std::size_t>(k)];
+    correct = correct && r.counts == r.expected;
+    if (specs[static_cast<std::size_t>(k)].feasible_at_fair_share) {
+      feasible_met = feasible_met && r.goal_met;
+    }
+  }
+
+  std::cout << "{\n";
+  std::cout << "  \"tenants\": " << kTenants << ",\n";
+  std::cout << "  \"budget\": " << budget << ",\n";
+  std::cout << "  \"fair_share_lp\": " << fair_share << ",\n";
+  std::cout << "  \"fair_share_wct_paper_s\": " << fmt(fair_wct_paper, 3) << ",\n";
+  std::cout << "  \"scale\": " << fmt(scale, 4) << ",\n";
+  std::cout << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  std::cout << "  \"peak_total_granted\": " << peak_total << ",\n";
+  std::cout << "  \"budget_held\": " << (budget_held ? "true" : "false") << ",\n";
+  std::cout << "  \"results_correct\": " << (correct ? "true" : "false") << ",\n";
+  std::cout << "  \"feasible_goals_met\": " << (feasible_met ? "true" : "false")
+            << ",\n";
+  std::cout << "  \"per_tenant\": [\n";
+  for (int k = 0; k < kTenants; ++k) {
+    const ScenarioResult& r = results[static_cast<std::size_t>(k)];
+    const TenantSpec& s = specs[static_cast<std::size_t>(k)];
+    std::cout << "    {\"goal_s\": " << fmt(r.goal, 3)
+              << ", \"wct_s\": " << fmt(r.wct, 3)
+              << ", \"goal_met\": " << (r.goal_met ? "true" : "false")
+              << ", \"feasible_at_fair_share\": "
+              << (s.feasible_at_fair_share ? "true" : "false")
+              << ", \"evaluations\": " << r.controller_evaluations << "}"
+              << (k + 1 < kTenants ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+
+  if (!budget_held || !correct) return 1;
+  if (!smoke && !feasible_met) return 1;
+  return 0;
+}

@@ -1,47 +1,80 @@
 #!/usr/bin/env bash
-# Perf-trajectory runner: builds Release, runs the hot-path microbenchmarks
-# and the WCT-algorithm comparison, and distills the numbers every perf PR
-# tracks into BENCH_PR1.json:
+# Perf-trajectory runner: builds Release, runs the hot-path microbenchmarks,
+# the WCT-algorithm comparison and the multi-tenant coordinator scenario, and
+# distills the numbers every perf PR tracks into BENCH_PR<N>.json:
 #   * EventBus dispatch ns/op (0/1/4/16 listeners, 4-thread contended),
 #   * pool churn tasks/sec at LP in {1, 4, 8},
-#   * EstimateRegistry snapshot cost, clean (cached) vs dirty (rebuild).
+#   * EstimateRegistry snapshot cost, clean (cached) vs dirty (rebuild),
+#   * multi-tenant: K=4 controllers on one budget (grants, goals met).
 #
-# Usage: bench/run_bench.sh [output.json]   (default: BENCH_PR1.json in cwd)
+# Usage: bench/run_bench.sh [--smoke] [output.json]
+#   --smoke: CI smoke mode — tiny iteration counts, no timing assertions;
+#            proves the bench pipeline runs and uploads an inspectable JSON.
+#   default output: BENCH_PR2.json in cwd.
 
 set -euo pipefail
 
+smoke=0
+out_json=""
+for arg in "$@"; do
+  case "${arg}" in
+    --smoke) smoke=1 ;;
+    *) out_json="${arg}" ;;
+  esac
+done
+out_json="${out_json:-BENCH_PR2.json}"
+
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-out_json="${1:-BENCH_PR1.json}"
 build_dir="${repo_root}/build-bench"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
       -DASKEL_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "${build_dir}" -j"$(nproc)" --target wct_algorithms >/dev/null
+cmake --build "${build_dir}" -j"$(nproc)" --target wct_algorithms multi_tenant \
+      >/dev/null
 
+micro_ok=1
 if [[ ! -x "${build_dir}/micro_bench" ]]; then
   if ! cmake --build "${build_dir}" -j"$(nproc)" --target micro_bench \
        >/dev/null 2>&1; then
     echo "google-benchmark not available: skipping micro_bench" >&2
-    echo '{"error": "micro_bench unavailable"}' > "${out_json}"
-    exit 0
+    micro_ok=0
   fi
 fi
 
 raw_json="$(mktemp)"
-trap 'rm -f "${raw_json}"' EXIT
+mt_json="$(mktemp)"
+trap 'rm -f "${raw_json}" "${mt_json}"' EXIT
 
-"${build_dir}/micro_bench" \
-  --benchmark_filter='BM_EventDispatch|BM_PoolChurn|BM_PoolSubmitDrain|BM_EstimateSnapshot' \
-  --benchmark_min_time=0.2 \
-  --benchmark_format=json > "${raw_json}"
+min_time=0.2
+[[ ${smoke} -eq 1 ]] && min_time=0.01
 
-# WCT algorithm comparison rides along for the scheduling-cost trajectory.
-"${build_dir}/wct_algorithms" > "${build_dir}/wct_algorithms.csv" || true
+if [[ ${micro_ok} -eq 1 ]]; then
+  "${build_dir}/micro_bench" \
+    --benchmark_filter='BM_EventDispatch|BM_PoolChurn|BM_PoolSubmitDrain|BM_EstimateSnapshot' \
+    --benchmark_min_time="${min_time}" \
+    --benchmark_format=json > "${raw_json}"
+else
+  echo '{"benchmarks": [], "context": {"error": "micro_bench unavailable"}}' \
+    > "${raw_json}"
+fi
 
-python3 - "${raw_json}" "${out_json}" <<'EOF'
+# Multi-tenant coordinator scenario (asserts budget invariant; goal
+# assertions only outside --smoke).
+mt_args=()
+[[ ${smoke} -eq 1 ]] && mt_args+=(--smoke)
+"${build_dir}/multi_tenant" "${mt_args[@]+"${mt_args[@]}"}" > "${mt_json}"
+
+# WCT algorithm comparison rides along for the scheduling-cost trajectory
+# (skipped in smoke mode: it is the slowest piece and purely informational).
+if [[ ${smoke} -eq 0 ]]; then
+  "${build_dir}/wct_algorithms" > "${build_dir}/wct_algorithms.csv" || true
+fi
+
+python3 - "${raw_json}" "${mt_json}" "${out_json}" "${smoke}" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
+multi_tenant = json.load(open(sys.argv[2]))
 by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
 
 def ns(name):
@@ -53,7 +86,8 @@ def items_per_sec(name):
     return round(b["items_per_second"]) if b and "items_per_second" in b else None
 
 out = {
-    "pr": 1,
+    "pr": 2,
+    "smoke": sys.argv[4] == "1",
     "context": raw.get("context", {}),
     "event_dispatch_ns": {
         "no_listeners": ns("BM_EventDispatch_NoListeners"),
@@ -75,7 +109,8 @@ out = {
         "dirty_16": ns("BM_EstimateSnapshot_Dirty/16"),
         "dirty_128": ns("BM_EstimateSnapshot_Dirty/128"),
     },
+    "multi_tenant": multi_tenant,
 }
-json.dump(out, open(sys.argv[2], "w"), indent=2)
-print(f"wrote {sys.argv[2]}")
+json.dump(out, open(sys.argv[3], "w"), indent=2)
+print(f"wrote {sys.argv[3]}")
 EOF

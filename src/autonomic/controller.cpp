@@ -11,6 +11,15 @@ AutonomicController::AutonomicController(ResizableThreadPool& pool,
                                          ControllerConfig cfg)
     : pool_(pool), trackers_(trackers), clock_(clock), cfg_(cfg) {}
 
+void AutonomicController::bind_coordinator(LpBudgetCoordinator* coord,
+                                           int tenant) {
+  std::lock_guard lock(mu_);
+  if (armed_) return;  // the binding is fixed while armed
+  if (coord != nullptr && tenant < 1) coord = nullptr;  // ids start at 1
+  coord_ = coord;
+  tenant_ = coord == nullptr ? 0 : tenant;
+}
+
 void AutonomicController::arm(Duration wct_goal_seconds, int max_lp) {
   std::lock_guard lock(mu_);
   armed_ = true;
@@ -20,10 +29,12 @@ void AutonomicController::arm(Duration wct_goal_seconds, int max_lp) {
   last_reason_ = DecisionReason::kEmptySnapshot;
   evaluations_ = 0;
   actions_.clear();
+  if (coord_ != nullptr) coord_->arm_tenant(tenant_);
 }
 
 void AutonomicController::disarm() {
   std::lock_guard lock(mu_);
+  if (armed_ && coord_ != nullptr) coord_->release(tenant_);
   armed_ = false;
 }
 
@@ -38,7 +49,19 @@ TimePoint AutonomicController::goal_abs() const {
 }
 
 int AutonomicController::effective_max_lp() const {
-  return max_lp_goal_ > 0 ? std::min(max_lp_goal_, pool_.max_lp()) : pool_.max_lp();
+  // Unbound controllers still honor an externally installed pool budget cap
+  // (lp_limit == max_lp when none): deciding above it would plan LP the
+  // pool will refuse to apply.
+  const int hard = coord_ != nullptr ? coord_->budget()
+                                     : std::min(pool_.max_lp(), pool_.lp_limit());
+  return max_lp_goal_ > 0 ? std::min(max_lp_goal_, hard) : hard;
+}
+
+int AutonomicController::current_lp_locked() const {
+  // Sharded mode plans against this tenant's granted share; the pool-wide
+  // target is the coordinator's aggregate and says nothing about us.
+  if (coord_ != nullptr) return std::max(1, coord_->granted(tenant_));
+  return pool_.target_lp();
 }
 
 EventBus::ListenerPtr AutonomicController::as_listener() {
@@ -81,12 +104,22 @@ Decision AutonomicController::evaluate_locked(TimePoint now) {
   last_eval_ = now;
   ++evaluations_;
   const AdgSnapshot g = trackers_.snapshot(now);
-  const int current = pool_.target_lp();
+  const int current = current_lp_locked();
   const Decision d = decide(g, goal_abs_, current, effective_max_lp(), cfg_.decision);
   last_reason_ = d.reason;
-  if (d.new_lp != current) {
-    pool_.set_target_lp(d.new_lp);
-    actions_.push_back(Action{now, current, d.new_lp, d.reason, d.best_effort_wct,
+  int applied = d.new_lp;
+  if (coord_ != nullptr) {
+    // Request even on no-change decisions: the pressure refresh is what lets
+    // the coordinator take LP back from tenants that stopped needing it.
+    applied = std::max(
+        1, coord_->request(tenant_, d.new_lp, goal_pressure(d, goal_abs_, now)));
+  } else if (d.new_lp != current) {
+    // Record what the pool actually installed (identical to d.new_lp unless
+    // a budget cap clamped it), so the action log never shows phantom LPs.
+    applied = pool_.set_target_lp(d.new_lp);
+  }
+  if (applied != current) {
+    actions_.push_back(Action{now, current, applied, d.reason, d.best_effort_wct,
                               d.current_lp_wct});
   }
   return d;

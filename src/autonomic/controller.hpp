@@ -10,10 +10,18 @@
 // The controller is itself an event listener, so the adaptation targets "the
 // currently evaluated instance, and not the next execution of the whole
 // problem" (paper §4).
+//
+// Sharded mode: N controllers — one per skeleton/tenant, each with its own
+// TrackerSet and goal — share one pool. Call bind_coordinator() before arm()
+// and the Execute step goes through the LpBudgetCoordinator (allocation
+// requests) instead of pool.set_target_lp; the controller then plans against
+// its granted share rather than the pool-wide target. Unbound, behavior is
+// identical to the single-controller original.
 
 #include <mutex>
 #include <vector>
 
+#include "autonomic/coordinator.hpp"
 #include "autonomic/decision.hpp"
 #include "autonomic/goals.hpp"
 #include "est/registry.hpp"
@@ -36,8 +44,18 @@ class AutonomicController {
                       const Clock* clock = &default_clock(),
                       ControllerConfig cfg = {});
 
-  /// Arm with a WCT goal anchored at `clock.now()`. `max_lp` 0 = pool max.
+  /// Route LP changes through `coord` as tenant `tenant` (a registered id,
+  /// >= 1; an invalid id leaves the controller unbound). Call before arm();
+  /// while armed the binding is fixed. Passing nullptr unbinds (back to
+  /// direct pool actuation).
+  void bind_coordinator(LpBudgetCoordinator* coord, int tenant);
+
+  /// Arm with a WCT goal anchored at `clock.now()`. `max_lp` 0 = pool max
+  /// (or the coordinator budget when bound). When bound, arming claims an
+  /// initial allocation from the coordinator.
   void arm(Duration wct_goal_seconds, int max_lp = 0);
+  /// Disarm. When bound, releases this tenant's allocation back to the
+  /// budget (the coordinator re-arbitrates survivors immediately).
   void disarm();
   bool armed() const;
   TimePoint goal_abs() const;
@@ -68,11 +86,14 @@ class AutonomicController {
  private:
   Decision evaluate_locked(TimePoint now);
   int effective_max_lp() const;
+  int current_lp_locked() const;
 
   ResizableThreadPool& pool_;
   TrackerSet& trackers_;
   const Clock* clock_;
   ControllerConfig cfg_;
+  LpBudgetCoordinator* coord_ = nullptr;
+  int tenant_ = 0;
 
   mutable std::mutex mu_;
   bool armed_ = false;

@@ -1,0 +1,212 @@
+#include "autonomic/coordinator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace askel {
+
+LpBudgetCoordinator::LpBudgetCoordinator(ResizableThreadPool& pool, int budget,
+                                         const Clock* clock)
+    : pool_(pool), clock_(clock) {
+  budget_ = budget > 0 ? std::min(budget, pool_.max_lp()) : pool_.max_lp();
+  pool_.set_lp_limit(budget_);
+}
+
+LpBudgetCoordinator::~LpBudgetCoordinator() {
+  // Give the pool back its full range; grants die with the coordinator.
+  pool_.set_lp_limit(pool_.max_lp());
+}
+
+int LpBudgetCoordinator::budget() const {
+  std::lock_guard lock(mu_);
+  return budget_;
+}
+
+void LpBudgetCoordinator::set_budget(int b) {
+  std::lock_guard lock(mu_);
+  budget_ = b > 0 ? std::min(b, pool_.max_lp()) : pool_.max_lp();
+  pool_.set_lp_limit(budget_);
+  arbitrate_locked();
+}
+
+int LpBudgetCoordinator::register_tenant(std::string name) {
+  std::lock_guard lock(mu_);
+  if (!free_ids_.empty()) {
+    const int id = free_ids_.back();
+    free_ids_.pop_back();
+    Tenant& t = tenants_[static_cast<std::size_t>(id - 1)];
+    t = Tenant{};  // grant is already 0: unregister arbitrated it away
+    t.name = std::move(name);
+    t.registered = true;
+    return id;
+  }
+  Tenant t;
+  t.name = std::move(name);
+  t.registered = true;
+  tenants_.push_back(std::move(t));
+  return static_cast<int>(tenants_.size());  // ids start at 1
+}
+
+void LpBudgetCoordinator::unregister_tenant(int tenant) {
+  std::lock_guard lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) return;
+  t->registered = false;
+  t->armed = false;
+  t->desired = 0;
+  t->pressure = 0.0;
+  arbitrate_locked();  // returns the grant to the budget (recorded)
+  free_ids_.push_back(tenant);
+}
+
+int LpBudgetCoordinator::arm_tenant(int tenant) {
+  std::lock_guard lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) return 0;
+  // Others, not the tenant itself: a solo tenant re-arming (new goal, same
+  // run pattern) must keep inheriting the pool target, like a fresh arm.
+  const int armed_others = static_cast<int>(
+      std::count_if(tenants_.begin(), tenants_.end(),
+                    [&](const Tenant& x) { return x.armed && &x != t; }));
+  t->armed = true;
+  // A solo tenant inherits the pool's current target, so one coordinated
+  // controller starts from exactly the state an uncoordinated one reads.
+  // Joiners start at the paper's initial LP of 1 until their first decision.
+  t->desired = armed_others == 0 ? std::max(1, pool_.target_lp()) : 1;
+  t->pressure = 0.0;
+  arbitrate_locked();
+  return t->grant;
+}
+
+int LpBudgetCoordinator::request(int tenant, int desired, double pressure) {
+  std::lock_guard lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr || !t->armed) return 0;
+  t->desired = std::max(1, desired);
+  t->pressure = pressure;
+  arbitrate_locked();
+  return t->grant;
+}
+
+void LpBudgetCoordinator::release(int tenant) {
+  std::lock_guard lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr || !t->armed) return;
+  t->armed = false;
+  t->desired = 0;
+  t->pressure = 0.0;
+  arbitrate_locked();
+}
+
+int LpBudgetCoordinator::granted(int tenant) const {
+  std::lock_guard lock(mu_);
+  const Tenant* t = find_locked(tenant);
+  return t == nullptr ? 0 : t->grant;
+}
+
+int LpBudgetCoordinator::total_granted() const {
+  std::lock_guard lock(mu_);
+  return std::accumulate(
+      tenants_.begin(), tenants_.end(), 0,
+      [](int acc, const Tenant& t) { return acc + t.grant; });
+}
+
+int LpBudgetCoordinator::peak_total_granted() const {
+  std::lock_guard lock(mu_);
+  return peak_total_;
+}
+
+int LpBudgetCoordinator::armed_tenants() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(std::count_if(
+      tenants_.begin(), tenants_.end(), [](const Tenant& t) { return t.armed; }));
+}
+
+std::vector<LpBudgetCoordinator::TenantAction> LpBudgetCoordinator::history()
+    const {
+  std::lock_guard lock(mu_);
+  return history_;
+}
+
+std::vector<LpBudgetCoordinator::TenantAction> LpBudgetCoordinator::history(
+    int tenant) const {
+  std::lock_guard lock(mu_);
+  std::vector<TenantAction> out;
+  for (const TenantAction& a : history_) {
+    if (a.tenant == tenant) out.push_back(a);
+  }
+  return out;
+}
+
+void LpBudgetCoordinator::arbitrate_locked() {
+  // Deadline-pressure order: widest relative goal miss first; ties go to the
+  // earlier-registered tenant (deterministic).
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].registered && tenants_[i].armed) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return tenants_[a].pressure > tenants_[b].pressure;
+  });
+
+  // Pass 1 — floor: one thread each, in pressure order, while budget lasts
+  // (progress for every tenant the budget can possibly cover). Pass 2 —
+  // top-up toward each tenant's desired LP, again in pressure order, so
+  // contested LP goes to the widest relative miss.
+  std::vector<int> next(tenants_.size(), 0);
+  int remaining = budget_;
+  for (const std::size_t i : order) {
+    if (remaining == 0) break;
+    next[i] = 1;
+    --remaining;
+  }
+  for (const std::size_t i : order) {
+    if (remaining == 0) break;
+    const int want = std::min(tenants_[i].desired, budget_) - next[i];
+    const int add = std::min(want, remaining);
+    if (add > 0) {
+      next[i] += add;
+      remaining -= add;
+    }
+  }
+
+  const TimePoint now = clock_->now();
+  int total = 0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    Tenant& t = tenants_[i];
+    const int g = t.armed ? next[i] : 0;
+    if (g != t.grant) {
+      // Bounded history: a long-lived coordinator re-arbitrates on every
+      // request, so the log keeps only the most recent ~kMaxHistory actions
+      // (dropped in halves to stay amortized O(1)).
+      if (history_.size() >= kMaxHistory) {
+        history_.erase(history_.begin(),
+                       history_.begin() + static_cast<long>(kMaxHistory / 2));
+      }
+      history_.push_back(TenantAction{now, static_cast<int>(i) + 1, t.desired,
+                                      t.grant, g, t.pressure});
+      t.grant = g;
+    }
+    total += g;
+  }
+  peak_total_ = std::max(peak_total_, total);
+  // Actuate the aggregate. With no armed tenant the pool keeps its last
+  // target — the same "disarm leaves the LP alone" semantics as the
+  // uncoordinated controller.
+  if (total > 0) pool_.set_target_lp(total);
+}
+
+const LpBudgetCoordinator::Tenant* LpBudgetCoordinator::find_locked(
+    int tenant) const {
+  if (tenant < 1 || tenant > static_cast<int>(tenants_.size())) return nullptr;
+  const Tenant& t = tenants_[static_cast<std::size_t>(tenant - 1)];
+  return t.registered ? &t : nullptr;
+}
+
+LpBudgetCoordinator::Tenant* LpBudgetCoordinator::find_locked(int tenant) {
+  return const_cast<Tenant*>(
+      std::as_const(*this).find_locked(tenant));
+}
+
+}  // namespace askel

@@ -1,0 +1,131 @@
+#pragma once
+// LpBudgetCoordinator: arbitrates one pool-wide LP budget between many
+// per-skeleton AutonomicControllers (the sharded MAPE loop).
+//
+// PR 1 made snapshots O(1) and the pool contention-free so that N controllers
+// — one per skeleton/tenant, each with its own TrackerSet and goal — can plan
+// independently. What they cannot do independently is actuate: the pool has
+// one LP, and the paper's "maximum LP [that] avoids overloading the system"
+// must hold for the sum of all tenants. The coordinator owns that sum.
+//
+// Contract:
+//  * sum of per-tenant grants <= budget() <= pool.max_lp(), always — the
+//    coordinator also installs the budget as the pool's lp_limit, so the cap
+//    holds even against direct set_target_lp callers;
+//  * contested LP goes to the tenants whose limited-LP completion estimate
+//    misses their goal by the widest relative margin (`goal_pressure`),
+//    with a 1-thread floor granted in pressure order while budget lasts;
+//  * disarm (release) and unregister return a tenant's grant to the pool
+//    immediately and re-arbitrate the survivors;
+//  * a single armed tenant with budget == pool.max_lp() is always granted
+//    exactly what it asks for, so one coordinated controller reproduces the
+//    uncoordinated controller's decisions verbatim.
+//
+// Locking: the coordinator's mutex is taken first, then the pool's control
+// mutex (inside set_target_lp). Controllers call in holding their own lock;
+// the pool never calls back into the coordinator or a controller, so the
+// order controller -> coordinator -> pool is acyclic.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "util/clock.hpp"
+
+namespace askel {
+
+class LpBudgetCoordinator {
+ public:
+  /// `budget` 0 = use pool.max_lp(); otherwise clamped to [1, pool.max_lp()].
+  /// Installs the budget as the pool's lp_limit for the coordinator's
+  /// lifetime (restored to pool.max_lp() on destruction).
+  explicit LpBudgetCoordinator(ResizableThreadPool& pool, int budget = 0,
+                               const Clock* clock = &default_clock());
+  ~LpBudgetCoordinator();
+
+  LpBudgetCoordinator(const LpBudgetCoordinator&) = delete;
+  LpBudgetCoordinator& operator=(const LpBudgetCoordinator&) = delete;
+
+  int budget() const;
+  /// Re-arbitrates immediately; shrinking may reduce existing grants.
+  void set_budget(int b);
+
+  /// The pool whose LP this coordinator owns (grants actuate here).
+  ResizableThreadPool& pool() const { return pool_; }
+
+  /// Tenant ids are small positive integers. Ids of unregistered tenants
+  /// are REUSED by later registrations (a long-lived coordinator serving a
+  /// stream of runs stays O(live tenants)), so callers must not touch an id
+  /// after unregistering it. `name` is for the action history only.
+  int register_tenant(std::string name = {});
+  /// Releases the tenant's grant (if armed) and recycles its id.
+  void unregister_tenant(int tenant);
+
+  /// Tenant goes live. Its initial desired LP is the pool's current target
+  /// (what a freshly armed uncoordinated controller would reason from), so a
+  /// single tenant starts exactly where today's controller starts. Returns
+  /// the initial grant.
+  int arm_tenant(int tenant);
+
+  /// Update the tenant's desired LP and deadline pressure, re-arbitrate, and
+  /// return the tenant's (possibly unchanged) grant. The grant may be less
+  /// than `desired` under contention, and may later shrink further when a
+  /// higher-pressure tenant requests — the tenant re-reads granted() on its
+  /// next evaluation.
+  int request(int tenant, int desired, double pressure);
+
+  /// Tenant disarmed or completed: its grant returns to the budget.
+  void release(int tenant);
+
+  int granted(int tenant) const;
+  /// Sum of all grants right now (<= budget, invariant).
+  int total_granted() const;
+  /// Highest total_granted ever observed (exact, maintained under the lock).
+  int peak_total_granted() const;
+  int armed_tenants() const;
+
+  /// One record per grant change of any tenant (arbitration outcome), in
+  /// time order. Bounded: only the most recent ~kMaxHistory records are
+  /// kept (a long-lived coordinator re-arbitrates on every request).
+  static constexpr std::size_t kMaxHistory = 4096;
+  struct TenantAction {
+    TimePoint t = 0.0;
+    int tenant = 0;
+    int requested = 0;   // the tenant's desired LP at arbitration time
+    int from_grant = 0;
+    int to_grant = 0;
+    double pressure = 0.0;
+  };
+  std::vector<TenantAction> history() const;
+  std::vector<TenantAction> history(int tenant) const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    bool registered = false;
+    bool armed = false;
+    int desired = 0;
+    int grant = 0;
+    double pressure = 0.0;
+  };
+
+  /// Recompute every armed tenant's grant from (desired, pressure), record
+  /// grant changes, and push the aggregate target to the pool.
+  void arbitrate_locked();
+  const Tenant* find_locked(int tenant) const;
+  Tenant* find_locked(int tenant);
+
+  ResizableThreadPool& pool_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;
+  int budget_;
+  int peak_total_ = 0;
+  std::vector<Tenant> tenants_;  // index = tenant id - 1
+  std::vector<int> free_ids_;    // unregistered slots awaiting reuse
+  std::vector<TenantAction> history_;
+};
+
+}  // namespace askel

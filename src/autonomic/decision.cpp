@@ -109,4 +109,12 @@ Decision decide(const AdgSnapshot& g, TimePoint goal_abs, int current_lp,
   return d;
 }
 
+double goal_pressure(const Decision& d, TimePoint goal_abs, TimePoint now) {
+  if (d.current_lp_wct <= 0.0) return 0.0;  // warming up: no estimate yet
+  // A goal already in the past compresses the window to epsilon: any
+  // remaining work produces very high (but finite) pressure.
+  const double remaining = std::max(goal_abs - now, 1e-9);
+  return (d.current_lp_wct - goal_abs) / remaining;
+}
+
 }  // namespace askel

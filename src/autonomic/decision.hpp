@@ -59,4 +59,11 @@ struct Decision {
 Decision decide(const AdgSnapshot& g, TimePoint goal_abs, int current_lp,
                 int max_lp, const DecisionConfig& cfg = {});
 
+/// Deadline pressure of a decision: how far the limited-LP completion
+/// estimate misses the goal, relative to the time still remaining until the
+/// deadline. Positive = missing (1.0 means "late by the whole remaining
+/// window"), negative = slack, 0 = no estimate yet. The LP-budget coordinator
+/// arbitrates contested LP by this value: the widest relative miss wins.
+double goal_pressure(const Decision& d, TimePoint goal_abs, TimePoint now);
+
 }  // namespace askel

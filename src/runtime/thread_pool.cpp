@@ -18,7 +18,7 @@ thread_local WorkerTls tls_worker;
 }  // namespace
 
 ResizableThreadPool::ResizableThreadPool(int initial_lp, int max_lp, const Clock* clock)
-    : clock_(clock), max_lp_(std::max(1, max_lp)), gauge_(clock) {
+    : clock_(clock), max_lp_(std::max(1, max_lp)), gauge_(clock), lp_limit_(max_lp_) {
   // All deque slots exist up front (stable addresses; stealers may scan any
   // slot without synchronizing with worker spawns).
   deques_.reserve(static_cast<std::size_t>(max_lp_));
@@ -44,8 +44,15 @@ ResizableThreadPool::~ResizableThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ResizableThreadPool::submit(Task task) {
+void ResizableThreadPool::submit(Task task) { submit(std::move(task), 0); }
+
+void ResizableThreadPool::submit(Task task, int tenant) {
   assert(!stopping_.load(std::memory_order_relaxed) && "submit after shutdown");
+  // Tagged submits only: the untagged hot path pays nothing for accounting.
+  if (tenant > 0) {
+    const auto slot = static_cast<std::size_t>((tenant - 1) % kTenantSlots);
+    tenant_submitted_[slot].n.fetch_add(1, std::memory_order_relaxed);
+  }
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   // Counted before the push so queued_ can never underflow when a worker
   // takes the task (and decrements) between push and count. seq_cst pairs
@@ -223,64 +230,84 @@ void ResizableThreadPool::worker_loop(int index) {
   }
 }
 
+std::uint64_t ResizableThreadPool::tenant_submitted(int tenant) const {
+  if (tenant <= 0) return 0;
+  const auto slot = static_cast<std::size_t>((tenant - 1) % kTenantSlots);
+  return tenant_submitted_[slot].n.load(std::memory_order_relaxed);
+}
+
 int ResizableThreadPool::set_target_lp(int n) {
-  const int clamped = std::clamp(n, 1, max_lp_);
+  int clamped = 0;
   bool grew = false;
+  bool applied = false;
   {
     std::lock_guard lock(mu_);
-    if (stopping_.load(std::memory_order_relaxed)) return clamped;
-    if (clamped == requested_lp_.load(std::memory_order_relaxed) &&
-        clamped == target_lp_.load(std::memory_order_relaxed)) {
-      return clamped;
-    }
-    requested_lp_.store(clamped, std::memory_order_release);
-    if (provision_delay_ > 0.0 &&
-        clamped > target_lp_.load(std::memory_order_relaxed)) {
-      // Simulated remote-worker join: the effective LP catches up with the
-      // requested one only after the delay. Registered under the same mu_
-      // hold as the decision (no drop/re-take window against shutdown), and
-      // finished timers are reaped here so the vector stays bounded.
-      reap_finished_timers_locked();
-      auto done = std::make_shared<std::atomic<bool>>(false);
-      std::jthread timer(
-          [this, clamped, delay = provision_delay_, done](std::stop_token st) {
-            const auto deadline = std::chrono::steady_clock::now() +
-                                  std::chrono::duration<double>(delay);
-            while (std::chrono::steady_clock::now() < deadline) {
-              if (st.stop_requested()) {
-                done->store(true, std::memory_order_release);
-                return;
-              }
-              std::this_thread::sleep_for(std::chrono::milliseconds(1));
-            }
-            bool applied = false;
-            {
-              std::lock_guard lock(mu_);
-              // A stale join must not exceed the latest request nor shrink a
-              // larger effective value.
-              if (!stopping_.load(std::memory_order_relaxed) &&
-                  clamped > target_lp_.load(std::memory_order_relaxed) &&
-                  clamped <= requested_lp_.load(std::memory_order_relaxed)) {
-                apply_target_locked(clamped);
-                applied = true;
-              }
-            }
-            if (applied) {
-              work_cv_.notify_all();
-              park_cv_.notify_all();
-            }
-            done->store(true, std::memory_order_release);
-          });
-      provision_timers_.push_back(ProvisionTimer{std::move(done), std::move(timer)});
-      return clamped;
-    }
-    grew = clamped > target_lp_.load(std::memory_order_relaxed);
-    apply_target_locked(clamped);
+    clamped = request_target_locked(n, grew, applied);
   }
-  // Wake parked workers on growth; wake idle sleepers in every case so
-  // workers whose index fell out of range re-park promptly.
+  // Wake parked workers on growth; wake idle sleepers whenever a change
+  // applied so workers whose index fell out of range re-park promptly. (A
+  // delayed grow notifies from its timer instead.)
   if (grew) park_cv_.notify_all();
-  work_cv_.notify_all();
+  if (applied) work_cv_.notify_all();
+  return clamped;
+}
+
+int ResizableThreadPool::request_target_locked(int n, bool& grew, bool& applied) {
+  grew = false;
+  applied = false;
+  // Clamp under mu_, where set_lp_limit also writes: a target computed
+  // against a stale cap can then never be installed after the cap shrank.
+  const int clamped =
+      std::clamp(n, 1, std::min(max_lp_, lp_limit_.load(std::memory_order_relaxed)));
+  if (stopping_.load(std::memory_order_relaxed)) return clamped;
+  if (clamped == requested_lp_.load(std::memory_order_relaxed) &&
+      clamped == target_lp_.load(std::memory_order_relaxed)) {
+    return clamped;
+  }
+  requested_lp_.store(clamped, std::memory_order_release);
+  if (provision_delay_ > 0.0 &&
+      clamped > target_lp_.load(std::memory_order_relaxed)) {
+    // Simulated remote-worker join: the effective LP catches up with the
+    // requested one only after the delay. Registered under the same mu_
+    // hold as the decision (no drop/re-take window against shutdown), and
+    // finished timers are reaped here so the vector stays bounded.
+    reap_finished_timers_locked();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::jthread timer(
+        [this, clamped, delay = provision_delay_, done](std::stop_token st) {
+          const auto deadline = std::chrono::steady_clock::now() +
+                                std::chrono::duration<double>(delay);
+          while (std::chrono::steady_clock::now() < deadline) {
+            if (st.stop_requested()) {
+              done->store(true, std::memory_order_release);
+              return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          bool joined = false;
+          {
+            std::lock_guard lock(mu_);
+            // A stale join must not exceed the latest request nor shrink a
+            // larger effective value.
+            if (!stopping_.load(std::memory_order_relaxed) &&
+                clamped > target_lp_.load(std::memory_order_relaxed) &&
+                clamped <= requested_lp_.load(std::memory_order_relaxed)) {
+              apply_target_locked(clamped);
+              joined = true;
+            }
+          }
+          if (joined) {
+            work_cv_.notify_all();
+            park_cv_.notify_all();
+          }
+          done->store(true, std::memory_order_release);
+        });
+    provision_timers_.push_back(ProvisionTimer{std::move(done), std::move(timer)});
+    return clamped;  // the timer notifies when the join lands
+  }
+  grew = clamped > target_lp_.load(std::memory_order_relaxed);
+  apply_target_locked(clamped);
+  applied = true;
   return clamped;
 }
 
@@ -298,6 +325,33 @@ void ResizableThreadPool::reap_finished_timers_locked() {
     // is immediate and never waits on a thread that still wants mu_.
     return t.done->load(std::memory_order_acquire);
   });
+}
+
+int ResizableThreadPool::set_lp_limit(int n) {
+  const int cap = std::clamp(n, 1, max_lp_);
+  bool grew = false;
+  bool applied = false;
+  {
+    std::lock_guard lock(mu_);
+    lp_limit_.store(cap, std::memory_order_release);
+    if (stopping_.load(std::memory_order_relaxed)) return cap;
+    // Re-issue the pending request at the cap, under the same mu_ hold that
+    // published it (no window for a concurrent set_target_lp holding the
+    // stale cap). Shrinks apply immediately (surplus workers park at their
+    // next boundary); a provisioned grow that was pending above the cap is
+    // re-targeted at the cap itself — the old timer self-cancels against the
+    // lowered requested_lp_, and request_target_locked registers a new one.
+    if (requested_lp_.load(std::memory_order_relaxed) > cap) {
+      request_target_locked(cap, grew, applied);
+    }
+  }
+  if (grew) park_cv_.notify_all();
+  if (applied) work_cv_.notify_all();
+  return cap;
+}
+
+int ResizableThreadPool::lp_limit() const {
+  return lp_limit_.load(std::memory_order_acquire);
 }
 
 void ResizableThreadPool::set_provision_delay(Duration d) {

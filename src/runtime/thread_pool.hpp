@@ -28,6 +28,7 @@
 //    continuation-passing and never blocks a worker on a future, so a pool
 //    with LP=1 still makes progress on arbitrarily nested skeletons).
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -61,11 +62,32 @@ class ResizableThreadPool {
   /// lock); from any other thread it goes to the injection queue.
   void submit(Task task);
 
-  /// Change the level of parallelism. Clamped to [1, max_lp]. Growing spawns
-  /// or unparks workers; shrinking parks surplus workers at their next task
-  /// boundary. Returns the clamped value actually applied (for a delayed
-  /// grow, the value that will eventually apply).
+  /// Tenant-tagged submit: identical scheduling, plus per-tenant accounting
+  /// (one relaxed increment of a cacheline-private counter). Tenant ids are
+  /// positive integers handed out by the LP-budget coordinator, hashed over
+  /// kTenantSlots accounting slots. Untagged submits (tenant <= 0 — the
+  /// default overload, and every run without multi-tenant wiring) skip the
+  /// accounting entirely: the single-tenant hot path PR 1 decontended pays
+  /// nothing for this hook.
+  void submit(Task task, int tenant);
+
+  /// Tasks ever submitted under `tenant`'s accounting slot (0 for ids <= 0,
+  /// which are never counted).
+  std::uint64_t tenant_submitted(int tenant) const;
+
+  /// Change the level of parallelism. Clamped to [1, min(max_lp, lp_limit)].
+  /// Growing spawns or unparks workers; shrinking parks surplus workers at
+  /// their next task boundary. Returns the clamped value actually applied
+  /// (for a delayed grow, the value that will eventually apply).
   int set_target_lp(int n);
+
+  /// Pool-wide LP budget cap, owned by the LP-budget coordinator when one is
+  /// attached. Every set_target_lp is clamped against it, so the cap holds
+  /// regardless of who requests growth. Clamped to [1, max_lp]; shrinking the
+  /// cap below the current target shrinks the target too. Returns the applied
+  /// cap.
+  int set_lp_limit(int n);
+  int lp_limit() const;
 
   /// Simulated worker-provisioning delay (paper §6 future work: a
   /// distributed backend adds workers "like adding threads", but a remote
@@ -106,6 +128,11 @@ class ResizableThreadPool {
  private:
   void worker_loop(int index);
   void spawn_locked(int count);
+  /// Locked core of set_target_lp/set_lp_limit: clamps against max_lp and
+  /// lp_limit, installs the request, and either applies it (`applied`, with
+  /// `grew` saying parked workers need waking) or registers a provision
+  /// timer for a delayed grow. Returns the clamped value.
+  int request_target_locked(int n, bool& grew, bool& applied);
   int apply_target_locked(int n);
   bool try_get_task(int index, Task& out);
   void maybe_wake_one();
@@ -127,7 +154,17 @@ class ResizableThreadPool {
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<int> requested_lp_{1};
   std::atomic<int> target_lp_{1};  // effective: what the worker predicate enforces
+  std::atomic<int> lp_limit_;      // budget cap; initialized to max_lp_
   std::atomic<bool> stopping_{false};
+
+  // Per-tenant submit accounting (multi-tenant observability; relaxed, the
+  // counters order nothing). One cache line per slot: concurrent tenants
+  // must not false-share on the submit path.
+  static constexpr int kTenantSlots = 64;
+  struct alignas(64) TenantCounter {
+    std::atomic<std::uint64_t> n{0};
+  };
+  std::array<TenantCounter, kTenantSlots> tenant_submitted_{};
 
   // ---- control plane: LP changes, parking, sleeping, shutdown --------------
   struct ProvisionTimer {

@@ -7,7 +7,7 @@ Engine::Engine(ResizableThreadPool& pool, EventBus& bus, const Clock* clock)
 
 FuturePtr Engine::run(NodePtr root, Any input) {
   auto state = std::make_shared<FutureState>();
-  auto ctx = std::make_shared<ExecContext>(pool_, bus_, *clock_);
+  auto ctx = std::make_shared<ExecContext>(pool_, bus_, *clock_, tenant_);
   ctx->complete = [state](Any r) { state->set_value(std::move(r)); };
   ctx->complete_error = [state](std::exception_ptr e) { state->set_error(e); };
   last_ctx_ = ctx;

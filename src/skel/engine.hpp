@@ -26,6 +26,12 @@ class Engine {
   /// run's start time.
   const CtxPtr& last_context() const { return last_ctx_; }
 
+  /// Multi-tenant wiring: tag every task this engine launches with a
+  /// coordinator tenant id, so the shared pool attributes submissions to this
+  /// skeleton instance. Takes effect for subsequent run() calls. 0 = none.
+  void set_tenant(int tenant) { tenant_ = tenant; }
+  int tenant() const { return tenant_; }
+
   ResizableThreadPool& pool() { return pool_; }
   EventBus& bus() { return bus_; }
   const Clock& clock() const { return *clock_; }
@@ -34,6 +40,7 @@ class Engine {
   ResizableThreadPool& pool_;
   EventBus& bus_;
   const Clock* clock_;
+  int tenant_ = 0;
   CtxPtr last_ctx_;
 };
 

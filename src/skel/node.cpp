@@ -38,8 +38,10 @@ std::string to_string(const Trace& trace) {
   return out;
 }
 
-ExecContext::ExecContext(ResizableThreadPool& pool, EventBus& bus, const Clock& clock)
-    : pool_(pool), bus_(bus), clock_(clock), start_time_(clock.now()) {}
+ExecContext::ExecContext(ResizableThreadPool& pool, EventBus& bus,
+                         const Clock& clock, int tenant)
+    : pool_(pool), bus_(bus), clock_(clock), tenant_(tenant),
+      start_time_(clock.now()) {}
 
 std::int64_t ExecContext::new_exec_id() {
   static std::atomic<std::int64_t> counter{0};

@@ -52,7 +52,8 @@ using CtxPtr = std::shared_ptr<ExecContext>;
 /// Per-run mutable state shared by all tasks of one `Engine::run`.
 class ExecContext {
  public:
-  ExecContext(ResizableThreadPool& pool, EventBus& bus, const Clock& clock);
+  ExecContext(ResizableThreadPool& pool, EventBus& bus, const Clock& clock,
+              int tenant = 0);
 
   /// Globally unique (process-wide) so trackers can key dynamic instances
   /// across consecutive runs without collisions.
@@ -69,10 +70,12 @@ class ExecContext {
   void fail(std::exception_ptr e);
   bool failed() const { return failed_.load(std::memory_order_acquire); }
 
-  void spawn(Task t) { pool_.submit(std::move(t)); }
+  void spawn(Task t) { pool_.submit(std::move(t), tenant_); }
 
   ResizableThreadPool& pool() { return pool_; }
   EventBus& bus() { return bus_; }
+  /// Coordinator tenant id this run's tasks are accounted under (0 = none).
+  int tenant() const { return tenant_; }
   const Clock& clock() const { return clock_; }
   TimePoint now() const { return clock_.now(); }
   /// Wall-clock time at which Engine::run was called (goal anchoring).
@@ -86,6 +89,7 @@ class ExecContext {
   ResizableThreadPool& pool_;
   EventBus& bus_;
   const Clock& clock_;
+  int tenant_;
   TimePoint start_time_;
   std::atomic<bool> failed_{false};
   std::atomic<bool> error_delivered_{false};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 namespace askel {
 namespace {
@@ -137,7 +138,16 @@ ScenarioResult run_wordcount_scenario(const ScenarioConfig& cfg,
       std::make_shared<const std::vector<std::string>>(generate_tweets(cfg.corpus));
   WordcountSkeleton ws = make_wordcount_skeleton(cfg.timings, cfg.jitter_seed);
 
-  ResizableThreadPool pool(cfg.initial_lp, cfg.max_lp);
+  // Private pool by default; a multi-tenant caller passes the shared one (and
+  // then gauge/lp_history series mix all tenants sharing it). A coordinator
+  // always runs on its own pool — grants actuate there, so running anywhere
+  // else (including a mismatched shared_pool) would leave the executing pool
+  // stuck at initial_lp.
+  std::optional<ResizableThreadPool> own_pool;
+  ResizableThreadPool* shared =
+      cfg.coordinator != nullptr ? &cfg.coordinator->pool() : cfg.shared_pool;
+  if (shared == nullptr) own_pool.emplace(cfg.initial_lp, cfg.max_lp);
+  ResizableThreadPool& pool = shared != nullptr ? *shared : *own_pool;
   EventBus bus;
   EstimateRegistry reg(cfg.rho, cfg.scope);
   TrackerSet trackers(reg);
@@ -148,7 +158,25 @@ ScenarioResult run_wordcount_scenario(const ScenarioConfig& cfg,
   bus.add_listener(controller.as_listener());
   if (init != nullptr) init_named_estimates(reg, *ws.skeleton.node(), *init);
 
+  int tenant = 0;
+  if (cfg.coordinator != nullptr) {
+    tenant = cfg.coordinator->register_tenant("wordcount");
+    controller.bind_coordinator(cfg.coordinator, tenant);
+  }
+  // A muscle exception propagates out of fut.get() below; the tenant's grant
+  // and registration must return to the budget on that path too (disarm and
+  // unregister are idempotent, so the normal path may also run them early).
+  struct TenantGuard {
+    AutonomicController& ctl;
+    LpBudgetCoordinator* coord;
+    int tenant;
+    ~TenantGuard() {
+      ctl.disarm();
+      if (coord != nullptr) coord->unregister_tenant(tenant);
+    }
+  } guard{controller, cfg.coordinator, tenant};
   Engine engine(pool, bus);
+  engine.set_tenant(tenant);
   TweetDoc doc;
   doc.tweets = tweets;
   doc.begin = 0;
@@ -180,7 +208,7 @@ ScenarioResult run_wordcount_scenario(const ScenarioConfig& cfg,
   res.expected = count_tokens(doc);
   res.final_estimates = export_named_estimates(reg, *ws.skeleton.node());
   res.controller_evaluations = controller.evaluations();
-  return res;
+  return res;  // guard unregisters the tenant
 }
 
 }  // namespace askel

@@ -99,6 +99,14 @@ struct ScenarioConfig {
   /// ramp max out before estimates refine. Set <0 to evaluate per event.
   Duration controller_min_interval = 0.1;
   std::uint64_t jitter_seed = 7;
+  /// Multi-tenant mode: run on this shared pool instead of a private one
+  /// (initial_lp/max_lp are then the shared pool's business) and, when
+  /// `coordinator` is also set, register one tenant there and route the
+  /// controller's LP through it. A coordinator alone implies its pool (the
+  /// run executes where the grants actuate). Both null = the
+  /// single-controller original.
+  ResizableThreadPool* shared_pool = nullptr;
+  LpBudgetCoordinator* coordinator = nullptr;
 };
 
 struct ScenarioResult {

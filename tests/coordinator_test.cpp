@@ -1,0 +1,281 @@
+// Tests for autonomic/coordinator: LP-budget arbitration between sharded
+// per-skeleton controllers, and the single-controller equivalence guarantee.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "autonomic/controller.hpp"
+#include "autonomic/coordinator.hpp"
+#include "workload/paper_example.hpp"
+
+namespace askel {
+namespace {
+
+TEST(Coordinator, BudgetDefaultsToPoolMaxAndClamps) {
+  ResizableThreadPool pool(1, 8);
+  {
+    LpBudgetCoordinator coord(pool);
+    EXPECT_EQ(coord.budget(), 8);
+  }
+  {
+    LpBudgetCoordinator coord(pool, 20);
+    EXPECT_EQ(coord.budget(), 8);
+  }
+  LpBudgetCoordinator coord(pool, 3);
+  EXPECT_EQ(coord.budget(), 3);
+  EXPECT_EQ(pool.lp_limit(), 3);
+}
+
+TEST(Coordinator, BudgetIsAHardCapOnThePoolEvenForDirectSetters) {
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 3);
+  // A caller bypassing the coordinator still cannot exceed the budget: the
+  // coordinator installed it as the pool's lp_limit.
+  EXPECT_EQ(pool.set_target_lp(8), 3);
+  EXPECT_EQ(pool.target_lp(), 3);
+}
+
+TEST(Coordinator, LimitRestoredOnDestruction) {
+  ResizableThreadPool pool(1, 8);
+  { LpBudgetCoordinator coord(pool, 2); }
+  EXPECT_EQ(pool.lp_limit(), 8);
+  EXPECT_EQ(pool.set_target_lp(8), 8);
+}
+
+TEST(Coordinator, BudgetExhaustionWithThreeArmedControllers) {
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 4);
+  const int t1 = coord.register_tenant("a");
+  const int t2 = coord.register_tenant("b");
+  const int t3 = coord.register_tenant("c");
+  coord.arm_tenant(t1);
+  coord.arm_tenant(t2);
+  coord.arm_tenant(t3);
+  coord.request(t1, 3, 0.5);
+  coord.request(t2, 3, 1.5);
+  coord.request(t3, 3, 1.0);
+  // 9 desired into a budget of 4: everyone gets the 1-thread floor, and the
+  // single leftover thread goes to the widest relative goal miss (t2).
+  EXPECT_EQ(coord.granted(t1), 1);
+  EXPECT_EQ(coord.granted(t2), 2);
+  EXPECT_EQ(coord.granted(t3), 1);
+  EXPECT_EQ(coord.total_granted(), 4);
+  EXPECT_LE(coord.peak_total_granted(), 4);
+  EXPECT_EQ(pool.target_lp(), 4);
+}
+
+TEST(Coordinator, HighPressureTenantPreemptsLowPressureGrant) {
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 4);
+  const int t1 = coord.register_tenant();
+  const int t2 = coord.register_tenant();
+  coord.arm_tenant(t1);
+  EXPECT_EQ(coord.request(t1, 4, 0.1), 4);  // alone: gets all of it
+  coord.arm_tenant(t2);
+  EXPECT_EQ(coord.request(t2, 4, 5.0), 3);
+  // The contested LP moved to the wider miss; t1 keeps only its floor.
+  EXPECT_EQ(coord.granted(t1), 1);
+  EXPECT_EQ(coord.total_granted(), 4);
+}
+
+TEST(Coordinator, DisarmReleasesBudget) {
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 4);
+  const int t1 = coord.register_tenant();
+  const int t2 = coord.register_tenant();
+  coord.arm_tenant(t1);
+  EXPECT_EQ(coord.request(t1, 4, 1.0), 4);
+  coord.arm_tenant(t2);
+  EXPECT_EQ(coord.request(t2, 4, 0.5), 1);  // t1 outranks: floor only
+  coord.release(t1);
+  // t1's grant returned to the pool and the survivor was topped up.
+  EXPECT_EQ(coord.granted(t1), 0);
+  EXPECT_EQ(coord.granted(t2), 4);
+  EXPECT_EQ(coord.total_granted(), 4);
+  EXPECT_EQ(coord.armed_tenants(), 1);
+}
+
+TEST(Coordinator, UnregisterReleasesLikeDisarm) {
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 4);
+  const int t1 = coord.register_tenant();
+  const int t2 = coord.register_tenant();
+  coord.arm_tenant(t1);
+  coord.arm_tenant(t2);
+  coord.request(t1, 4, 2.0);
+  coord.request(t2, 4, 1.0);
+  coord.unregister_tenant(t1);
+  EXPECT_EQ(coord.granted(t1), 0);
+  EXPECT_EQ(coord.granted(t2), 4);
+  // A forgotten tenant's requests are void.
+  EXPECT_EQ(coord.request(t1, 4, 9.0), 0);
+  EXPECT_EQ(coord.granted(t2), 4);
+}
+
+TEST(Coordinator, MaxLpOnePoolNeverExceedsOne) {
+  ResizableThreadPool pool(1, 4);
+  LpBudgetCoordinator coord(pool, 1);
+  const int t1 = coord.register_tenant();
+  const int t2 = coord.register_tenant();
+  coord.arm_tenant(t1);
+  coord.arm_tenant(t2);
+  coord.request(t1, 5, 2.0);
+  coord.request(t2, 5, 3.0);
+  // One thread total: the widest miss holds it, the other waits at zero
+  // (it still progresses — pool workers are shared, not partitioned).
+  EXPECT_EQ(coord.granted(t2), 1);
+  EXPECT_EQ(coord.granted(t1), 0);
+  EXPECT_EQ(coord.total_granted(), 1);
+  EXPECT_EQ(coord.peak_total_granted(), 1);
+  EXPECT_EQ(pool.target_lp(), 1);
+  EXPECT_EQ(pool.set_target_lp(4), 1);  // budget cap holds at the pool too
+}
+
+TEST(Coordinator, ShrinkingBudgetReclaimsGrants) {
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 6);
+  const int t1 = coord.register_tenant();
+  coord.arm_tenant(t1);
+  EXPECT_EQ(coord.request(t1, 6, 1.0), 6);
+  coord.set_budget(2);
+  EXPECT_EQ(coord.granted(t1), 2);
+  EXPECT_EQ(pool.target_lp(), 2);
+  EXPECT_EQ(pool.lp_limit(), 2);
+}
+
+TEST(Coordinator, HistoryRecordsPerTenantGrantChanges) {
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 4);
+  const int t1 = coord.register_tenant("alpha");
+  coord.arm_tenant(t1);
+  coord.request(t1, 3, 0.7);
+  coord.release(t1);
+  const auto h = coord.history(t1);
+  ASSERT_GE(h.size(), 3u);  // arm grant, top-up to 3, release to 0
+  EXPECT_EQ(h.front().from_grant, 0);
+  EXPECT_EQ(h.back().to_grant, 0);
+  for (const auto& a : h) EXPECT_EQ(a.tenant, t1);
+  // The 3-grant record carries the request context.
+  bool saw_request = false;
+  for (const auto& a : h) {
+    if (a.to_grant == 3) {
+      saw_request = true;
+      EXPECT_EQ(a.requested, 3);
+      EXPECT_DOUBLE_EQ(a.pressure, 0.7);
+    }
+  }
+  EXPECT_TRUE(saw_request);
+}
+
+TEST(Coordinator, ReArmingSoloTenantInheritsPoolTarget) {
+  // A solo tenant that arms again (new goal, same pattern as an
+  // uncoordinated controller's re-arm) must keep planning from the pool's
+  // current target, not collapse back to LP 1.
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool);
+  const int t1 = coord.register_tenant();
+  coord.arm_tenant(t1);
+  EXPECT_EQ(coord.request(t1, 6, 1.0), 6);
+  EXPECT_EQ(pool.target_lp(), 6);
+  EXPECT_EQ(coord.arm_tenant(t1), 6);  // re-arm: inherit, like fresh arm
+  EXPECT_EQ(pool.target_lp(), 6);
+}
+
+TEST(Coordinator, UnregisteredIdsAreRecycled) {
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 4);
+  const int a = coord.register_tenant("a");
+  coord.arm_tenant(a);
+  coord.request(a, 4, 1.0);
+  coord.unregister_tenant(a);
+  const int b = coord.register_tenant("b");
+  EXPECT_EQ(b, a);                 // slot recycled: bounded by live tenants
+  EXPECT_EQ(coord.granted(b), 0);  // ...with fresh state, no inherited grant
+  EXPECT_EQ(coord.armed_tenants(), 0);
+  EXPECT_EQ(coord.register_tenant("c"), b + 1);  // free list drained
+}
+
+TEST(Coordinator, ShrinkingLimitRetargetsPendingProvisionedGrow) {
+  ResizableThreadPool pool(1, 8);
+  pool.set_provision_delay(0.05);
+  EXPECT_EQ(pool.set_target_lp(8), 8);  // delayed grow: effective LP still 1
+  EXPECT_EQ(pool.effective_lp(), 1);
+  // Capping mid-provision must not lose the grow: the 8-thread join
+  // self-cancels, and a join at the cap replaces it.
+  EXPECT_EQ(pool.set_lp_limit(4), 4);
+  EXPECT_EQ(pool.target_lp(), 4);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (pool.effective_lp() < 4 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(pool.effective_lp(), 4);
+}
+
+TEST(Coordinator, ShrinkingLimitLowersPendingRequest) {
+  ResizableThreadPool pool(1, 8);
+  EXPECT_EQ(pool.set_target_lp(8), 8);
+  EXPECT_EQ(pool.set_lp_limit(3), 3);
+  EXPECT_EQ(pool.target_lp(), 3);
+  EXPECT_EQ(pool.effective_lp(), 3);
+  // Raising the limit does not resurrect the pre-shrink target.
+  EXPECT_EQ(pool.set_lp_limit(8), 8);
+  EXPECT_EQ(pool.target_lp(), 3);
+}
+
+// ---------------------------------------------- single-controller parity --
+
+/// Drive one controller over the deterministic paper-§4 replay (virtual
+/// time), optionally routed through a coordinator, and return its actions.
+std::vector<AutonomicController::Action> replay_actions(bool coordinated) {
+  PaperExampleReplay replay(0.5);
+  ManualClock clock(0.0);
+  ResizableThreadPool pool(2, 24, &clock);  // the example runs at LP = 2
+  std::optional<LpBudgetCoordinator> coord;
+  AutonomicController ctl(pool, replay.trackers(), &clock);
+  if (coordinated) {
+    coord.emplace(pool, /*budget=*/0, &clock);  // budget = pool max
+    ctl.bind_coordinator(&*coord, coord->register_tenant("solo"));
+  }
+  ctl.arm(/*wct_goal=*/100.0);  // the paper's closing remark: LP 3 meets 100
+  for (const TimePoint t : {10.0, 25.0, 40.0, 55.0, 70.0, 85.0, 100.0, 115.0}) {
+    clock.set(t);
+    replay.replay_until(t);
+    ctl.evaluate_now();
+  }
+  ctl.disarm();
+  return ctl.actions();
+}
+
+TEST(Coordinator, SingleArmedControllerMatchesUncoordinatedByteForByte) {
+  const auto plain = replay_actions(false);
+  const auto sharded = replay_actions(true);
+  ASSERT_FALSE(plain.empty());  // the scripted goal forces at least one action
+  ASSERT_EQ(plain.size(), sharded.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain[i].t, sharded[i].t);
+    EXPECT_EQ(plain[i].from_lp, sharded[i].from_lp);
+    EXPECT_EQ(plain[i].to_lp, sharded[i].to_lp);
+    EXPECT_EQ(plain[i].reason, sharded[i].reason);
+    EXPECT_DOUBLE_EQ(plain[i].best_effort_wct, sharded[i].best_effort_wct);
+    EXPECT_DOUBLE_EQ(plain[i].current_lp_wct, sharded[i].current_lp_wct);
+  }
+}
+
+TEST(Coordinator, GoalPressureIsRelativeMiss) {
+  Decision d;
+  d.current_lp_wct = 0.0;
+  EXPECT_DOUBLE_EQ(goal_pressure(d, 10.0, 0.0), 0.0);  // warming up
+  d.current_lp_wct = 15.0;
+  EXPECT_DOUBLE_EQ(goal_pressure(d, 10.0, 0.0), 0.5);  // late by half the window
+  d.current_lp_wct = 8.0;
+  EXPECT_DOUBLE_EQ(goal_pressure(d, 10.0, 0.0), -0.2);  // slack
+  // Same absolute miss, tighter window => higher pressure.
+  d.current_lp_wct = 15.0;
+  EXPECT_GT(goal_pressure(d, 10.0, 5.0), goal_pressure(d, 10.0, 0.0));
+}
+
+}  // namespace
+}  // namespace askel

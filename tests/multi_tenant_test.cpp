@@ -1,0 +1,178 @@
+// Multi-tenant tests: N skeletons, N controllers, one pool, one LP-budget
+// coordinator. The stress cases here are part of the TSan CI job and must
+// run clean under `cmake -DASKEL_TSAN=ON` as well as plain builds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "autonomic/coordinator.hpp"
+#include "workload/wordcount.hpp"
+
+namespace askel {
+namespace {
+
+ScenarioConfig tiny_tenant_scenario(double goal_paper_seconds,
+                                    ResizableThreadPool* pool,
+                                    LpBudgetCoordinator* coord) {
+  ScenarioConfig cfg;
+  cfg.timings.scale = 0.024;
+  cfg.corpus.num_tweets = 400;
+  cfg.wct_goal = goal_paper_seconds;
+  cfg.max_lp = 24;
+  cfg.shared_pool = pool;
+  cfg.coordinator = coord;
+  return cfg;
+}
+
+TEST(MultiTenant, FourTenantsOneBudgetAllComplete) {
+  // Four full autonomic wordcount runs — each with its own bus, trackers,
+  // registry and controller — share one pool through one coordinator, with
+  // staggered goals so their deadline pressures differ.
+  ResizableThreadPool pool(1, 24);
+  LpBudgetCoordinator coord(pool, /*budget=*/16);
+  constexpr int kTenants = 4;
+  const double goals[kTenants] = {9.5, 11.0, 13.0, 16.0};
+  std::vector<ScenarioResult> results(kTenants);
+  std::vector<std::thread> runners;
+  for (int k = 0; k < kTenants; ++k) {
+    runners.emplace_back([&, k] {
+      const ScenarioConfig cfg = tiny_tenant_scenario(goals[k], &pool, &coord);
+      results[static_cast<std::size_t>(k)] = run_wordcount_scenario(cfg);
+    });
+  }
+  for (std::thread& t : runners) t.join();
+
+  for (const ScenarioResult& r : results) {
+    EXPECT_EQ(r.counts, r.expected);  // results stay correct under sharing
+  }
+  // The pool-wide cap held throughout (exact peak, not a sampled one).
+  EXPECT_LE(coord.peak_total_granted(), 16);
+  EXPECT_LE(pool.target_lp(), 16);
+  // Every run completed => every grant was reclaimed.
+  EXPECT_EQ(coord.total_granted(), 0);
+  EXPECT_EQ(coord.armed_tenants(), 0);
+}
+
+TEST(MultiTenant, StaggeredArrivalsReuseReclaimedBudget) {
+  // Tenants arrive one after another: each completed run's budget must be
+  // available to the next (disarm/unregister reclaim), so later tenants can
+  // still raise their LP.
+  ResizableThreadPool pool(1, 16);
+  LpBudgetCoordinator coord(pool, 8);
+  for (int round = 0; round < 3; ++round) {
+    const ScenarioConfig cfg = tiny_tenant_scenario(9.5, &pool, &coord);
+    const ScenarioResult r = run_wordcount_scenario(cfg);
+    EXPECT_EQ(r.counts, r.expected);
+    EXPECT_EQ(coord.total_granted(), 0) << "round " << round;
+  }
+  EXPECT_LE(coord.peak_total_granted(), 8);
+}
+
+TEST(MultiTenant, CoordinatorChurnStress) {
+  // Raw API churn: concurrent register/arm/request/release/unregister from
+  // four threads while a monitor asserts the budget invariant. No skeleton
+  // runs — this isolates coordinator/pool races for TSan.
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 6);
+  std::atomic<bool> stop{false};
+  std::atomic<long> violations{0};
+  std::thread monitor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (coord.total_granted() > 6) violations.fetch_add(1);
+      if (pool.target_lp() > 6) violations.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      std::mt19937 rng(static_cast<unsigned>(17 * (w + 1)));
+      for (int i = 0; i < kIters; ++i) {
+        const int t = coord.register_tenant("churn");
+        coord.arm_tenant(t);
+        coord.request(t, 1 + static_cast<int>(rng() % 8),
+                      static_cast<double>(rng() % 100) / 25.0);
+        if (rng() % 2 == 0) coord.release(t);
+        coord.unregister_tenant(t);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(coord.total_granted(), 0);
+  EXPECT_LE(coord.peak_total_granted(), 6);
+}
+
+TEST(MultiTenant, PoolAccountsSubmitsPerTenant) {
+  ResizableThreadPool pool(2, 4);
+  LpBudgetCoordinator coord(pool);
+  const int t1 = coord.register_tenant("left");
+  const int t2 = coord.register_tenant("right");
+  EventBus bus1, bus2;
+  Engine e1(pool, bus1), e2(pool, bus2);
+  e1.set_tenant(t1);
+  e2.set_tenant(t2);
+
+  auto fs = split_muscle<int, int>("fs", [](int n) {
+    return std::vector<int>(static_cast<std::size_t>(n), 1);
+  });
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto fm = merge_muscle<int, int>("fm", [](std::vector<int> v) {
+    return static_cast<int>(v.size());
+  });
+  auto skel = Map(fs, Seq(fe), fm);
+  EXPECT_EQ(skel.input(6, e1).get(), 6);
+  EXPECT_EQ(skel.input(3, e2).get(), 3);
+
+  const std::uint64_t n1 = pool.tenant_submitted(t1);
+  const std::uint64_t n2 = pool.tenant_submitted(t2);
+  EXPECT_GT(n1, 0u);
+  EXPECT_GT(n2, 0u);
+  // The 6-wide map spawns more tasks than the 3-wide one.
+  EXPECT_GT(n1, n2);
+  // Untagged submits skip accounting entirely (free single-tenant hot path).
+  pool.submit([] {});
+  pool.wait_idle();
+  EXPECT_EQ(pool.tenant_submitted(0), 0u);
+  const std::uint64_t n1_after = pool.tenant_submitted(t1);
+  EXPECT_EQ(n1_after, n1);
+}
+
+#ifndef ASKEL_TSAN
+TEST(MultiTenant, FeasibleFairShareGoalsAreMet) {
+  // Wall-clock assertion (skipped under TSan's slowdown): with K=3 tenants on
+  // a budget of 12, fair share is 4 threads each. Goals chosen feasible at
+  // fair share must be met even with all tenants armed concurrently.
+  ResizableThreadPool pool(1, 24);
+  LpBudgetCoordinator coord(pool, 12);
+  constexpr int kTenants = 3;
+  const double goals[kTenants] = {11.0, 12.0, 13.0};  // sequential ≈ 12.5
+  std::vector<ScenarioResult> results(kTenants);
+  std::vector<std::thread> runners;
+  for (int k = 0; k < kTenants; ++k) {
+    runners.emplace_back([&, k] {
+      const ScenarioConfig cfg = tiny_tenant_scenario(goals[k], &pool, &coord);
+      results[static_cast<std::size_t>(k)] = run_wordcount_scenario(cfg);
+    });
+  }
+  for (std::thread& t : runners) t.join();
+  for (int k = 0; k < kTenants; ++k) {
+    const ScenarioResult& r = results[static_cast<std::size_t>(k)];
+    EXPECT_EQ(r.counts, r.expected);
+    EXPECT_TRUE(r.goal_met) << "tenant " << k << " wct=" << r.wct
+                            << " goal=" << r.goal;
+  }
+  EXPECT_LE(coord.peak_total_granted(), 12);
+}
+#endif
+
+}  // namespace
+}  // namespace askel

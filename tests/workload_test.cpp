@@ -56,7 +56,9 @@ TEST(TweetCorpus, ZipfSkewMakesRankZeroMostCommon) {
     for (std::string& tok : extract_tags_and_mentions(tweet)) ++counts[std::move(tok)];
   long top = counts["#tag0"];
   for (const auto& [tok, n] : counts) {
-    if (tok.rfind("#tag", 0) == 0) EXPECT_LE(n, top) << tok;
+    if (tok.rfind("#tag", 0) == 0) {
+      EXPECT_LE(n, top) << tok;
+    }
   }
 }
 
