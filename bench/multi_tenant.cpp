@@ -1,19 +1,29 @@
-// Multi-tenant benchmark: K=4 concurrent wordcount skeletons — each with its
-// own controller, goal and arrival time — sharing one pool through the
-// LpBudgetCoordinator (budget 8 of a 16-thread pool).
+// Multi-tenant benchmark: concurrent wordcount skeletons sharing one pool
+// through the LpBudgetCoordinator, under a selectable arbitration policy.
 //
-// Tenants 1-3 have goals feasible at fair-share LP (budget/K = 2); tenant 4's
-// goal is only reachable with more than its fair share, so it exercises the
-// deadline-pressure arbitration. Emits one JSON object on stdout (consumed by
-// bench/run_bench.sh into BENCH_PR<N>.json) and enforces:
-//   * sum of granted LP never exceeds the budget (always),
-//   * every fair-share-feasible tenant meets its goal (skipped in --smoke,
-//     which runs tiny inputs and makes no timing assertions).
+// Scenarios:
+//  * staggered (default): K=4 tenants with staggered arrivals and goals
+//    (budget 8 of a 16-thread pool); tenants 1-3 have goals feasible at
+//    fair-share LP, tenant 4 deliberately needs more than its fair share.
+//    Asserts the budget invariant, result correctness and (outside --smoke)
+//    that every fair-share-feasible goal is met.
+//  * aggressor: one victim wordcount run (SLA weight 3) against an
+//    aggressor tenant that lies about its pressure and floods tagged
+//    submits. Runs the SAME setup twice — weighted dispatch + weighted
+//    policy vs the PR 2 baseline (FIFO dispatch + pressure policy) — and
+//    reports both, so the JSON shows whether grants are real isolation.
+//    Outside --smoke, asserts the isolated victim beats the baseline one.
+//
+// Emits one JSON object on stdout (consumed by bench/run_bench.sh into
+// BENCH_PR<N>.json).
 //
 // Usage: multi_tenant [--smoke] [--scale X] [--budget N]
+//                     [--policy pressure|weighted] [--scenario staggered|aggressor]
 
+#include <atomic>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,25 +56,17 @@ double wct_at_lp(const PaperTimings& t, int lp) {
   return t.outer_split + middle + t.outer_merge;
 }
 
-}  // namespace
+std::unique_ptr<ArbitrationPolicy> make_policy(const std::string& name) {
+  if (name == "weighted") return std::make_unique<WeightedSharePolicy>();
+  return std::make_unique<DeadlinePressurePolicy>();
+}
 
-int main(int argc, char** argv) {
-  bool smoke = false;
-  double scale = 0.05;
-  int budget = 8;
-  for (int k = 1; k < argc; ++k) {
-    if (std::strcmp(argv[k], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[k], "--scale") == 0 && k + 1 < argc) {
-      scale = std::atof(argv[++k]);
-    } else if (std::strcmp(argv[k], "--budget") == 0 && k + 1 < argc) {
-      budget = std::atoi(argv[++k]);
-    }
-  }
-  if (scale <= 0.0) scale = 0.05;   // atof garbage => defaults, not div-by-0
-  if (budget < 1) budget = 8;       // atoi garbage => default, not a 0 cap
-  if (smoke) scale = std::min(scale, 0.012);
+const char* json_bool(bool b) { return b ? "true" : "false"; }
 
+// ------------------------------------------------------------- staggered --
+
+int run_staggered(bool smoke, double scale, int budget,
+                  const std::string& policy) {
   PaperTimings timings;
   timings.scale = scale;
   constexpr int kTenants = 4;
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
 
   ResizableThreadPool pool(1, 16);
   LpBudgetCoordinator coord(pool, budget);
+  coord.set_policy(make_policy(policy));
 
   std::vector<ScenarioResult> results(kTenants);
   std::vector<std::thread> runners;
@@ -112,26 +115,27 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "{\n";
+  std::cout << "  \"scenario\": \"staggered\",\n";
+  std::cout << "  \"policy\": \"" << coord.policy_name() << "\",\n";
   std::cout << "  \"tenants\": " << kTenants << ",\n";
   std::cout << "  \"budget\": " << budget << ",\n";
   std::cout << "  \"fair_share_lp\": " << fair_share << ",\n";
   std::cout << "  \"fair_share_wct_paper_s\": " << fmt(fair_wct_paper, 3) << ",\n";
   std::cout << "  \"scale\": " << fmt(scale, 4) << ",\n";
-  std::cout << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  std::cout << "  \"smoke\": " << json_bool(smoke) << ",\n";
   std::cout << "  \"peak_total_granted\": " << peak_total << ",\n";
-  std::cout << "  \"budget_held\": " << (budget_held ? "true" : "false") << ",\n";
-  std::cout << "  \"results_correct\": " << (correct ? "true" : "false") << ",\n";
-  std::cout << "  \"feasible_goals_met\": " << (feasible_met ? "true" : "false")
-            << ",\n";
+  std::cout << "  \"budget_held\": " << json_bool(budget_held) << ",\n";
+  std::cout << "  \"results_correct\": " << json_bool(correct) << ",\n";
+  std::cout << "  \"feasible_goals_met\": " << json_bool(feasible_met) << ",\n";
   std::cout << "  \"per_tenant\": [\n";
   for (int k = 0; k < kTenants; ++k) {
     const ScenarioResult& r = results[static_cast<std::size_t>(k)];
     const TenantSpec& s = specs[static_cast<std::size_t>(k)];
     std::cout << "    {\"goal_s\": " << fmt(r.goal, 3)
               << ", \"wct_s\": " << fmt(r.wct, 3)
-              << ", \"goal_met\": " << (r.goal_met ? "true" : "false")
+              << ", \"goal_met\": " << json_bool(r.goal_met)
               << ", \"feasible_at_fair_share\": "
-              << (s.feasible_at_fair_share ? "true" : "false")
+              << json_bool(s.feasible_at_fair_share)
               << ", \"evaluations\": " << r.controller_evaluations << "}"
               << (k + 1 < kTenants ? "," : "") << "\n";
   }
@@ -140,4 +144,185 @@ int main(int argc, char** argv) {
   if (!budget_held || !correct) return 1;
   if (!smoke && !feasible_met) return 1;
   return 0;
+}
+
+// ------------------------------------------------------------- aggressor --
+
+struct AggressorOutcome {
+  double victim_goal = 0.0;
+  double victim_wct = 0.0;
+  bool victim_goal_met = false;
+  bool correct = false;
+  bool budget_held = false;
+  long aggressor_tasks = 0;
+  int victim_peak_grant = 0;
+};
+
+/// One victim wordcount run against a flooding aggressor. `isolated` selects
+/// weighted dispatch + weighted arbitration; otherwise the PR 2 baseline
+/// (FIFO dispatch + deadline-pressure arbitration, where the aggressor's
+/// lying pressure and flood go unpunished).
+AggressorOutcome run_aggressor_once(bool smoke, double scale, int budget,
+                                    bool isolated) {
+  PaperTimings timings;
+  timings.scale = scale;
+
+  ResizableThreadPool pool(1, 16);
+  if (!isolated) pool.set_tenant_dispatch(TenantDispatch::kFifo);
+  LpBudgetCoordinator coord(pool, budget);
+  coord.set_policy(make_policy(isolated ? "weighted" : "pressure"));
+  coord.set_preemption_hold(0.25 * scale);  // don't thrash fresh ramps
+
+  // The aggressor claims maximal urgency and floods tagged submits for the
+  // whole run, bounded to a standing backlog so memory stays flat.
+  const int aggr = coord.register_tenant("aggressor");
+  coord.arm_tenant(aggr);
+  coord.request(aggr, budget, /*pressure=*/25.0);  // lies about its miss
+  std::atomic<bool> stop_flood{false};
+  std::atomic<long> flood_done{0};
+  std::atomic<int> flood_outstanding{0};
+  const double flood_task_s = 0.05 * scale;  // sleep-calibrated, like muscles
+  // Hard deadline on the flood: under the FIFO baseline the victim's root
+  // task sits in the LIFO injection queue BEHIND the flood's ever-newer
+  // tasks, and on a box with a spare core for the flooder that is a
+  // livelock with no natural end (the flood only stops when the victim
+  // finishes, which the flood prevents). Long enough to outlive the whole
+  // victim run in the measured configurations, so the numbers are
+  // unaffected; on a pathological run the baseline degrades to a huge —
+  // finite — miss instead of hanging CI.
+  const double victim_goal_paper =
+      wct_at_lp(timings, std::max(1, budget * 3 / 4)) * 1.35;
+  const double victim_goal_s = victim_goal_paper * scale;
+  const auto flood_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(2.0, 10.0 * victim_goal_s)));
+  std::thread flooder([&] {
+    while (!stop_flood.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < flood_deadline) {
+      if (flood_outstanding.load(std::memory_order_relaxed) < 512) {
+        flood_outstanding.fetch_add(1, std::memory_order_relaxed);
+        pool.submit(
+            [&, flood_task_s] {
+              simulate_work(flood_task_s);
+              flood_done.fetch_add(1, std::memory_order_relaxed);
+              flood_outstanding.fetch_sub(1, std::memory_order_relaxed);
+            },
+            aggr);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  // Victim: goal feasible at its weighted share (weight 3 of 4 => grant 3
+  // of budget 4), with slack for the flood's dispatch latency.
+  ScenarioConfig cfg;
+  cfg.timings = timings;
+  cfg.corpus.num_tweets = smoke ? 200 : 800;
+  cfg.wct_goal = victim_goal_paper;
+  cfg.max_lp = 16;
+  cfg.coordinator = &coord;
+  cfg.sla_weight = 3;
+  const ScenarioResult r = run_wordcount_scenario(cfg);
+
+  stop_flood.store(true, std::memory_order_release);
+  flooder.join();
+  const int peak_total = coord.peak_total_granted();
+  int victim_peak_grant = 0;
+  // The victim registered after the aggressor, so its id is the highest
+  // grant history entry that is not the aggressor's.
+  for (const auto& a : coord.history()) {
+    if (a.tenant != aggr) victim_peak_grant = std::max(victim_peak_grant, a.to_grant);
+  }
+  coord.release(aggr);
+  coord.unregister_tenant(aggr);
+  pool.wait_idle();
+
+  AggressorOutcome out;
+  out.victim_goal = r.goal;
+  out.victim_wct = r.wct;
+  out.victim_goal_met = r.goal_met;
+  out.correct = r.counts == r.expected;
+  out.budget_held = peak_total <= budget;
+  out.aggressor_tasks = flood_done.load();
+  out.victim_peak_grant = victim_peak_grant;
+  return out;
+}
+
+void print_aggressor_outcome(const char* key, const AggressorOutcome& o,
+                             bool last) {
+  std::cout << "  \"" << key << "\": {\"victim_goal_s\": " << fmt(o.victim_goal, 3)
+            << ", \"victim_wct_s\": " << fmt(o.victim_wct, 3)
+            << ", \"victim_goal_met\": " << json_bool(o.victim_goal_met)
+            << ", \"victim_peak_grant\": " << o.victim_peak_grant
+            << ", \"aggressor_tasks\": " << o.aggressor_tasks
+            << ", \"budget_held\": " << json_bool(o.budget_held)
+            << ", \"results_correct\": " << json_bool(o.correct) << "}"
+            << (last ? "" : ",") << "\n";
+}
+
+int run_aggressor(bool smoke, double scale, int budget) {
+  const AggressorOutcome isolated =
+      run_aggressor_once(smoke, scale, budget, /*isolated=*/true);
+  const AggressorOutcome baseline =
+      run_aggressor_once(smoke, scale, budget, /*isolated=*/false);
+
+  const bool invariants = isolated.budget_held && baseline.budget_held &&
+                          isolated.correct && baseline.correct;
+  const bool isolation_win = isolated.victim_wct < baseline.victim_wct;
+  std::cout << "{\n";
+  std::cout << "  \"scenario\": \"aggressor\",\n";
+  std::cout << "  \"budget\": " << budget << ",\n";
+  std::cout << "  \"scale\": " << fmt(scale, 4) << ",\n";
+  std::cout << "  \"smoke\": " << json_bool(smoke) << ",\n";
+  print_aggressor_outcome("weighted_isolation", isolated, false);
+  print_aggressor_outcome("fifo_baseline", baseline, false);
+  std::cout << "  \"victim_miss_ratio_weighted\": "
+            << fmt(isolated.victim_wct / std::max(1e-9, isolated.victim_goal), 3)
+            << ",\n";
+  std::cout << "  \"victim_miss_ratio_fifo\": "
+            << fmt(baseline.victim_wct / std::max(1e-9, baseline.victim_goal), 3)
+            << ",\n";
+  std::cout << "  \"isolation_win\": " << json_bool(isolation_win) << "\n";
+  std::cout << "}\n";
+
+  if (!invariants) return 1;
+  // Timing assertion only outside smoke: the isolated victim must beat the
+  // FIFO baseline (the flood makes the baseline dramatically worse, so the
+  // comparison is robust even on a loaded 1-core CI box).
+  if (!smoke && !isolation_win) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double scale = 0.05;
+  int budget = -1;
+  std::string policy = "pressure";
+  std::string scenario = "staggered";
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[k], "--scale") == 0 && k + 1 < argc) {
+      scale = std::atof(argv[++k]);
+    } else if (std::strcmp(argv[k], "--budget") == 0 && k + 1 < argc) {
+      budget = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--policy") == 0 && k + 1 < argc) {
+      policy = argv[++k];
+    } else if (std::strcmp(argv[k], "--scenario") == 0 && k + 1 < argc) {
+      scenario = argv[++k];
+    }
+  }
+  if (scale <= 0.0) scale = 0.05;  // atof garbage => defaults, not div-by-0
+  if (smoke) scale = std::min(scale, 0.012);
+
+  if (scenario == "aggressor") {
+    if (budget < 1) budget = 4;
+    return run_aggressor(smoke, scale, budget);
+  }
+  if (budget < 1) budget = 8;
+  return run_staggered(smoke, scale, budget, policy);
 }

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Perf-trajectory runner: builds Release, runs the hot-path microbenchmarks,
-# the WCT-algorithm comparison and the multi-tenant coordinator scenario, and
+# the WCT-algorithm comparison and the multi-tenant coordinator scenarios, and
 # distills the numbers every perf PR tracks into BENCH_PR<N>.json:
 #   * EventBus dispatch ns/op (0/1/4/16 listeners, 4-thread contended),
 #   * pool churn tasks/sec at LP in {1, 4, 8},
 #   * EstimateRegistry snapshot cost, clean (cached) vs dirty (rebuild),
-#   * multi-tenant: K=4 controllers on one budget (grants, goals met).
+#   * multi-tenant staggered: K=4 controllers on one budget, run under BOTH
+#     arbitration policies (deadline-pressure and weighted-share),
+#   * multi-tenant aggressor: victim vs flooding aggressor, weighted
+#     isolation vs the FIFO dispatch baseline.
+# The per-scenario raw JSONs are kept next to the output
+# (<out>.pressure.json / <out>.weighted.json / <out>.aggressor.json) so CI
+# can upload each artifact individually.
 #
 # Usage: bench/run_bench.sh [--smoke] [output.json]
 #   --smoke: CI smoke mode — tiny iteration counts, no timing assertions;
 #            proves the bench pipeline runs and uploads an inspectable JSON.
-#   default output: BENCH_PR2.json in cwd.
+#   default output: BENCH_PR3.json in cwd.
 
 set -euo pipefail
 
@@ -22,7 +28,7 @@ for arg in "$@"; do
     *) out_json="${arg}" ;;
   esac
 done
-out_json="${out_json:-BENCH_PR2.json}"
+out_json="${out_json:-BENCH_PR3.json}"
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
@@ -42,8 +48,10 @@ if [[ ! -x "${build_dir}/micro_bench" ]]; then
 fi
 
 raw_json="$(mktemp)"
-mt_json="$(mktemp)"
-trap 'rm -f "${raw_json}" "${mt_json}"' EXIT
+mt_pressure_json="${out_json%.json}.pressure.json"
+mt_weighted_json="${out_json%.json}.weighted.json"
+mt_aggressor_json="${out_json%.json}.aggressor.json"
+trap 'rm -f "${raw_json}"' EXIT
 
 min_time=0.2
 [[ ${smoke} -eq 1 ]] && min_time=0.01
@@ -58,11 +66,18 @@ else
     > "${raw_json}"
 fi
 
-# Multi-tenant coordinator scenario (asserts budget invariant; goal
-# assertions only outside --smoke).
+# Multi-tenant coordinator scenarios (budget invariant asserted always; goal
+# and isolation assertions only outside --smoke). The staggered scenario runs
+# under both arbitration policies for the A/B trajectory; the aggressor
+# scenario compares weighted isolation against the FIFO dispatch baseline.
 mt_args=()
 [[ ${smoke} -eq 1 ]] && mt_args+=(--smoke)
-"${build_dir}/multi_tenant" "${mt_args[@]+"${mt_args[@]}"}" > "${mt_json}"
+"${build_dir}/multi_tenant" "${mt_args[@]+"${mt_args[@]}"}" \
+  --policy pressure > "${mt_pressure_json}"
+"${build_dir}/multi_tenant" "${mt_args[@]+"${mt_args[@]}"}" \
+  --policy weighted > "${mt_weighted_json}"
+"${build_dir}/multi_tenant" "${mt_args[@]+"${mt_args[@]}"}" \
+  --scenario aggressor > "${mt_aggressor_json}"
 
 # WCT algorithm comparison rides along for the scheduling-cost trajectory
 # (skipped in smoke mode: it is the slowest piece and purely informational).
@@ -70,11 +85,14 @@ if [[ ${smoke} -eq 0 ]]; then
   "${build_dir}/wct_algorithms" > "${build_dir}/wct_algorithms.csv" || true
 fi
 
-python3 - "${raw_json}" "${mt_json}" "${out_json}" "${smoke}" <<'EOF'
+python3 - "${raw_json}" "${mt_pressure_json}" "${mt_weighted_json}" \
+  "${mt_aggressor_json}" "${out_json}" "${smoke}" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
-multi_tenant = json.load(open(sys.argv[2]))
+mt_pressure = json.load(open(sys.argv[2]))
+mt_weighted = json.load(open(sys.argv[3]))
+mt_aggressor = json.load(open(sys.argv[4]))
 by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
 
 def ns(name):
@@ -86,8 +104,8 @@ def items_per_sec(name):
     return round(b["items_per_second"]) if b and "items_per_second" in b else None
 
 out = {
-    "pr": 2,
-    "smoke": sys.argv[4] == "1",
+    "pr": 3,
+    "smoke": sys.argv[6] == "1",
     "context": raw.get("context", {}),
     "event_dispatch_ns": {
         "no_listeners": ns("BM_EventDispatch_NoListeners"),
@@ -109,8 +127,12 @@ out = {
         "dirty_16": ns("BM_EstimateSnapshot_Dirty/16"),
         "dirty_128": ns("BM_EstimateSnapshot_Dirty/128"),
     },
-    "multi_tenant": multi_tenant,
+    "multi_tenant": {
+        "staggered_pressure": mt_pressure,
+        "staggered_weighted": mt_weighted,
+        "aggressor": mt_aggressor,
+    },
 }
-json.dump(out, open(sys.argv[3], "w"), indent=2)
-print(f"wrote {sys.argv[3]}")
+json.dump(out, open(sys.argv[5], "w"), indent=2)
+print(f"wrote {sys.argv[5]}")
 EOF

@@ -1,0 +1,84 @@
+#include "autonomic/arbitration.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace askel {
+
+void DeadlinePressurePolicy::arbitrate(int budget,
+                                       const std::vector<TenantDemand>& demands,
+                                       std::vector<int>& grants) const {
+  // Pressure order: widest relative goal miss first; ties go to the
+  // earlier-registered tenant (demands arrive in registration order, and the
+  // sort is stable — identical to the PR 2 in-coordinator sort).
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return demands[a].pressure > demands[b].pressure;
+                   });
+
+  // Pass 1 — floor: one thread each, in pressure order, while budget lasts
+  // (progress for every tenant the budget can possibly cover). Pass 2 —
+  // top-up toward each tenant's desired LP, again in pressure order, so
+  // contested LP goes to the widest relative miss.
+  int remaining = budget;
+  for (const std::size_t i : order) {
+    if (remaining == 0) break;
+    grants[i] = 1;
+    --remaining;
+  }
+  for (const std::size_t i : order) {
+    if (remaining == 0) break;
+    const int want = std::min(demands[i].desired, budget) - grants[i];
+    const int add = std::min(want, remaining);
+    if (add > 0) {
+      grants[i] += add;
+      remaining -= add;
+    }
+  }
+}
+
+void WeightedSharePolicy::arbitrate(int budget,
+                                    const std::vector<TenantDemand>& demands,
+                                    std::vector<int>& grants) const {
+  // Floors in weight order (ties: pressure, then registration order) — when
+  // the budget cannot even cover one thread each, the heavier classes win.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (demands[a].weight != demands[b].weight) {
+                       return demands[a].weight > demands[b].weight;
+                     }
+                     return demands[a].pressure > demands[b].pressure;
+                   });
+  int remaining = budget;
+  for (const std::size_t i : order) {
+    if (remaining == 0) break;
+    grants[i] = 1;
+    --remaining;
+  }
+  // Water-fill one thread at a time to the unsatisfied tenant with the
+  // lowest grant/weight ratio: steady-state grants converge to
+  // budget * weight / total_weight, capped at desired (the freed share then
+  // flows to the remaining classes). O(budget * tenants) — both are small.
+  while (remaining > 0) {
+    std::size_t pick = demands.size();
+    double pick_ratio = 0.0;
+    for (const std::size_t i : order) {
+      if (grants[i] >= std::min(demands[i].desired, budget)) continue;
+      const double ratio = static_cast<double>(grants[i]) /
+                           static_cast<double>(std::max(1, demands[i].weight));
+      if (pick == demands.size() || ratio < pick_ratio) {
+        pick = i;
+        pick_ratio = ratio;
+      }
+    }
+    if (pick == demands.size()) break;  // everyone capped at desired
+    ++grants[pick];
+    --remaining;
+  }
+}
+
+}  // namespace askel

@@ -18,6 +18,15 @@ void AutonomicController::bind_coordinator(LpBudgetCoordinator* coord,
   if (coord != nullptr && tenant < 1) coord = nullptr;  // ids start at 1
   coord_ = coord;
   tenant_ = coord == nullptr ? 0 : tenant;
+  if (coord_ != nullptr && sla_weight_ != 1) {
+    coord_->set_tenant_weight(tenant_, sla_weight_);
+  }
+}
+
+void AutonomicController::set_sla_weight(int weight) {
+  std::lock_guard lock(mu_);
+  sla_weight_ = std::max(1, weight);
+  if (coord_ != nullptr) coord_->set_tenant_weight(tenant_, sla_weight_);
 }
 
 void AutonomicController::arm(Duration wct_goal_seconds, int max_lp) {
@@ -101,6 +110,17 @@ Decision AutonomicController::evaluate_now() {
 }
 
 Decision AutonomicController::evaluate_locked(TimePoint now) {
+  // A disarmed controller has no goal to plan for, and its Execute step is
+  // forbidden: a coordinator request here would land AFTER disarm() released
+  // the tenant's grant, re-installing a stale allocation (and logging a
+  // phantom action). disarm()/evaluate share mu_, so this check fully
+  // serializes reclaim against in-flight evaluations.
+  if (!armed_) {
+    Decision d;
+    d.reason = DecisionReason::kDisarmed;
+    d.new_lp = current_lp_locked();
+    return d;
+  }
   last_eval_ = now;
   ++evaluations_;
   const AdgSnapshot g = trackers_.snapshot(now);

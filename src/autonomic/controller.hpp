@@ -50,6 +50,12 @@ class AutonomicController {
   /// direct pool actuation).
   void bind_coordinator(LpBudgetCoordinator* coord, int tenant);
 
+  /// SLA class weight (>= 1, default 1) forwarded to the coordinator's
+  /// WeightedSharePolicy; a no-op while unbound (and under policies that
+  /// ignore weights). May be called before bind_coordinator — the weight is
+  /// forwarded at bind time.
+  void set_sla_weight(int weight);
+
   /// Arm with a WCT goal anchored at `clock.now()`. `max_lp` 0 = pool max
   /// (or the coordinator budget when bound). When bound, arming claims an
   /// initial allocation from the coordinator.
@@ -94,6 +100,7 @@ class AutonomicController {
   ControllerConfig cfg_;
   LpBudgetCoordinator* coord_ = nullptr;
   int tenant_ = 0;
+  int sla_weight_ = 1;
 
   mutable std::mutex mu_;
   bool armed_ = false;

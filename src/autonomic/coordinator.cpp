@@ -8,13 +8,21 @@ namespace askel {
 
 LpBudgetCoordinator::LpBudgetCoordinator(ResizableThreadPool& pool, int budget,
                                          const Clock* clock)
-    : pool_(pool), clock_(clock) {
+    : pool_(pool), clock_(clock),
+      policy_(std::make_unique<DeadlinePressurePolicy>()) {
   budget_ = budget > 0 ? std::min(budget, pool_.max_lp()) : pool_.max_lp();
   pool_.set_lp_limit(budget_);
 }
 
 LpBudgetCoordinator::~LpBudgetCoordinator() {
-  // Give the pool back its full range; grants die with the coordinator.
+  // Give the pool back its full range; grants die with the coordinator —
+  // including the per-tenant dispatch weights, so a later coordinator (or
+  // none) never schedules against this one's stale grant vector.
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].grant != 0) {
+      pool_.set_tenant_grant(static_cast<int>(i) + 1, 0);
+    }
+  }
   pool_.set_lp_limit(pool_.max_lp());
 }
 
@@ -28,6 +36,28 @@ void LpBudgetCoordinator::set_budget(int b) {
   budget_ = b > 0 ? std::min(b, pool_.max_lp()) : pool_.max_lp();
   pool_.set_lp_limit(budget_);
   arbitrate_locked();
+}
+
+void LpBudgetCoordinator::set_policy(std::unique_ptr<ArbitrationPolicy> policy) {
+  std::lock_guard lock(mu_);
+  policy_ = policy != nullptr ? std::move(policy)
+                              : std::make_unique<DeadlinePressurePolicy>();
+  arbitrate_locked();
+}
+
+std::string LpBudgetCoordinator::policy_name() const {
+  std::lock_guard lock(mu_);
+  return policy_->name();
+}
+
+void LpBudgetCoordinator::set_preemption_hold(Duration d) {
+  std::lock_guard lock(mu_);
+  preemption_hold_ = std::max(0.0, d);
+}
+
+Duration LpBudgetCoordinator::preemption_hold() const {
+  std::lock_guard lock(mu_);
+  return preemption_hold_;
 }
 
 int LpBudgetCoordinator::register_tenant(std::string name) {
@@ -56,8 +86,24 @@ void LpBudgetCoordinator::unregister_tenant(int tenant) {
   t->armed = false;
   t->desired = 0;
   t->pressure = 0.0;
+  t->weight = 1;
+  t->last_grow = kNeverGrew;
   arbitrate_locked();  // returns the grant to the budget (recorded)
   free_ids_.push_back(tenant);
+}
+
+void LpBudgetCoordinator::set_tenant_weight(int tenant, int weight) {
+  std::lock_guard lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) return;
+  t->weight = std::max(1, weight);
+  arbitrate_locked();
+}
+
+int LpBudgetCoordinator::tenant_weight(int tenant) const {
+  std::lock_guard lock(mu_);
+  const Tenant* t = find_locked(tenant);
+  return t == nullptr ? 0 : t->weight;
 }
 
 int LpBudgetCoordinator::arm_tenant(int tenant) {
@@ -75,6 +121,9 @@ int LpBudgetCoordinator::arm_tenant(int tenant) {
   // Joiners start at the paper's initial LP of 1 until their first decision.
   t->desired = armed_others == 0 ? std::max(1, pool_.target_lp()) : 1;
   t->pressure = 0.0;
+  // A fresh arm earns no preemption-hold protection from a previous
+  // incarnation's ramp (the disarm→re-arm stale-grant leak).
+  t->last_grow = kNeverGrew;
   arbitrate_locked();
   return t->grant;
 }
@@ -96,6 +145,10 @@ void LpBudgetCoordinator::release(int tenant) {
   t->armed = false;
   t->desired = 0;
   t->pressure = 0.0;
+  // The protection dies with the grant: re-arbitration below zeroes the
+  // grant unconditionally (hold only ever applies to armed tenants), and a
+  // later re-arm must not inherit this incarnation's grow timestamp.
+  t->last_grow = kNeverGrew;
   arbitrate_locked();
 }
 
@@ -140,42 +193,90 @@ std::vector<LpBudgetCoordinator::TenantAction> LpBudgetCoordinator::history(
 }
 
 void LpBudgetCoordinator::arbitrate_locked() {
-  // Deadline-pressure order: widest relative goal miss first; ties go to the
-  // earlier-registered tenant (deterministic).
-  std::vector<std::size_t> order;
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    if (tenants_[i].registered && tenants_[i].armed) order.push_back(i);
-  }
-  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
-    return tenants_[a].pressure > tenants_[b].pressure;
-  });
+  const TimePoint now = clock_->now();
 
-  // Pass 1 — floor: one thread each, in pressure order, while budget lasts
-  // (progress for every tenant the budget can possibly cover). Pass 2 —
-  // top-up toward each tenant's desired LP, again in pressure order, so
-  // contested LP goes to the widest relative miss.
-  std::vector<int> next(tenants_.size(), 0);
-  int remaining = budget_;
-  for (const std::size_t i : order) {
-    if (remaining == 0) break;
-    next[i] = 1;
-    --remaining;
+  // Collect armed demands in registration order (policies tie-break on it).
+  std::vector<std::size_t> idx;
+  std::vector<TenantDemand> demands;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const Tenant& t = tenants_[i];
+    if (!t.registered || !t.armed) continue;
+    idx.push_back(i);
+    demands.push_back(TenantDemand{static_cast<int>(i) + 1, t.desired,
+                                   t.pressure, t.weight, t.grant});
   }
-  for (const std::size_t i : order) {
-    if (remaining == 0) break;
-    const int want = std::min(tenants_[i].desired, budget_) - next[i];
-    const int add = std::min(want, remaining);
-    if (add > 0) {
-      next[i] += add;
-      remaining -= add;
+
+  std::vector<int> grants(demands.size(), 0);
+  if (!demands.empty()) {
+    policy_->arbitrate(budget_, demands, grants);
+    // Defensive clamp: a policy must never mint LP; trim from the back so a
+    // buggy policy degrades deterministically instead of busting the budget.
+    int sum = 0;
+    for (int& g : grants) {
+      g = std::max(0, g);
+      sum += g;
+    }
+    for (std::size_t k = grants.size(); sum > budget_ && k-- > 0;) {
+      const int cut = std::min(grants[k], sum - budget_);
+      grants[k] -= cut;
+      sum -= cut;
+    }
+
+    // Preemption-cost hold: a tenant whose grant the policy shrank, but who
+    // grew within the window and still wants the LP, keeps min(current,
+    // desired) — reclaiming a fresh ramp-up wastes warm caches and pending
+    // provisioning, so the contender waits the window out. Self-requested
+    // decreases (desired < current) are never blocked. The budget stays
+    // hard: overshoot is clawed back in ascending-pressure order, first
+    // from unprotected tenants down to their 1-thread floor, then by
+    // stripping protections back to the raw policy grants.
+    if (preemption_hold_ > 0.0) {
+      const std::vector<int> raw = grants;
+      std::vector<char> held(grants.size(), 0);
+      int total = sum;
+      for (std::size_t k = 0; k < grants.size(); ++k) {
+        const Tenant& t = tenants_[idx[k]];
+        const int keep = std::min(t.grant, t.desired);
+        if (grants[k] < keep && now - t.last_grow < preemption_hold_) {
+          total += keep - grants[k];
+          grants[k] = keep;
+          held[k] = 1;
+        }
+      }
+      if (total > budget_) {
+        std::vector<std::size_t> asc(grants.size());
+        std::iota(asc.begin(), asc.end(), std::size_t{0});
+        std::stable_sort(asc.begin(), asc.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return demands[a].pressure < demands[b].pressure;
+                         });
+        for (const bool strip_held : {false, true}) {
+          for (const std::size_t k : asc) {
+            if (total <= budget_) break;
+            if (static_cast<bool>(held[k]) != strip_held) continue;
+            const int floor = strip_held ? raw[k] : std::min(raw[k], 1);
+            const int cut = std::min(grants[k] - floor, total - budget_);
+            if (cut > 0) {
+              grants[k] -= cut;
+              total -= cut;
+            }
+          }
+        }
+      }
     }
   }
 
-  const TimePoint now = clock_->now();
+  // Apply: record changes, stamp grow times, and install the grant vector
+  // into the pool so the weighted dispatch schedules against it. All under
+  // mu_ — reclaim is serialized with every in-flight grant installation, so
+  // the pool never holds a mix of old and new vectors.
   int total = 0;
+  std::size_t k = 0;
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     Tenant& t = tenants_[i];
-    const int g = t.armed ? next[i] : 0;
+    int g = 0;
+    if (k < idx.size() && idx[k] == i) g = grants[k++];
+    if (!t.armed) g = 0;
     if (g != t.grant) {
       // Bounded history: a long-lived coordinator re-arbitrates on every
       // request, so the log keeps only the most recent ~kMaxHistory actions
@@ -186,7 +287,9 @@ void LpBudgetCoordinator::arbitrate_locked() {
       }
       history_.push_back(TenantAction{now, static_cast<int>(i) + 1, t.desired,
                                       t.grant, g, t.pressure});
+      if (g > t.grant) t.last_grow = now;
       t.grant = g;
+      pool_.set_tenant_grant(static_cast<int>(i) + 1, g);
     }
     total += g;
   }

@@ -12,9 +12,18 @@
 //  * sum of per-tenant grants <= budget() <= pool.max_lp(), always — the
 //    coordinator also installs the budget as the pool's lp_limit, so the cap
 //    holds even against direct set_target_lp callers;
-//  * contested LP goes to the tenants whose limited-LP completion estimate
-//    misses their goal by the widest relative margin (`goal_pressure`),
-//    with a 1-thread floor granted in pressure order while budget lasts;
+//  * contested LP is split by the pluggable ArbitrationPolicy (default:
+//    DeadlinePressurePolicy — widest relative goal miss first with a
+//    1-thread floor; WeightedSharePolicy splits by SLA-class weight);
+//  * every grant change is ALSO installed into the pool's per-tenant grant
+//    vector (`set_tenant_grant`), which drives the pool's weighted dispatch
+//    — grants are scheduling isolation, not just planning numbers;
+//  * preemption-cost awareness: LP a tenant grew within the last
+//    `preemption_hold()` window is not reclaimed by other tenants' demands
+//    (the requester waits the window out); the tenant's own requested
+//    decreases always apply, and the budget stays a hard cap. Hold
+//    protection dies with the grant: release/arm reset the grow timestamp,
+//    so a disarm→re-arm cycle can never re-install a stale protected grant;
 //  * disarm (release) and unregister return a tenant's grant to the pool
 //    immediately and re-arbitrate the survivors;
 //  * a single armed tenant with budget == pool.max_lp() is always granted
@@ -22,15 +31,20 @@
 //    uncoordinated controller's decisions verbatim.
 //
 // Locking: the coordinator's mutex is taken first, then the pool's control
-// mutex (inside set_target_lp). Controllers call in holding their own lock;
-// the pool never calls back into the coordinator or a controller, so the
-// order controller -> coordinator -> pool is acyclic.
+// mutex (inside set_target_lp / set_lp_limit / set_tenant_grant). Reclaim
+// and grant installation are serialized under the coordinator's mutex — an
+// Execute step in flight on another controller observes either the full old
+// grant vector or the full new one, never a torn mix. Controllers call in
+// holding their own lock; the pool never calls back into the coordinator or
+// a controller, so the order controller -> coordinator -> pool is acyclic.
 
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "autonomic/arbitration.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/clock.hpp"
 
@@ -40,7 +54,8 @@ class LpBudgetCoordinator {
  public:
   /// `budget` 0 = use pool.max_lp(); otherwise clamped to [1, pool.max_lp()].
   /// Installs the budget as the pool's lp_limit for the coordinator's
-  /// lifetime (restored to pool.max_lp() on destruction).
+  /// lifetime (restored to pool.max_lp() on destruction, and every tenant
+  /// grant is zeroed in the pool — grants die with the coordinator).
   explicit LpBudgetCoordinator(ResizableThreadPool& pool, int budget = 0,
                                const Clock* clock = &default_clock());
   ~LpBudgetCoordinator();
@@ -52,6 +67,20 @@ class LpBudgetCoordinator {
   /// Re-arbitrates immediately; shrinking may reduce existing grants.
   void set_budget(int b);
 
+  /// Swap the arbitration policy (nullptr restores the default
+  /// DeadlinePressurePolicy) and re-arbitrate under the new one.
+  void set_policy(std::unique_ptr<ArbitrationPolicy> policy);
+  /// Name of the active policy (for logs/bench JSON).
+  std::string policy_name() const;
+
+  /// Don't let OTHER tenants reclaim LP a tenant grew within the last `d`
+  /// seconds (preemption cost: a fresh ramp-up is warm caches and pending
+  /// provisioning; reclaiming it immediately wastes both). 0 (default)
+  /// disables the hold. The budget stays hard: when protections cannot fit,
+  /// they are stripped lowest-pressure-first.
+  void set_preemption_hold(Duration d);
+  Duration preemption_hold() const;
+
   /// The pool whose LP this coordinator owns (grants actuate here).
   ResizableThreadPool& pool() const { return pool_; }
 
@@ -62,6 +91,12 @@ class LpBudgetCoordinator {
   int register_tenant(std::string name = {});
   /// Releases the tenant's grant (if armed) and recycles its id.
   void unregister_tenant(int tenant);
+
+  /// SLA class weight (>= 1, default 1) used by WeightedSharePolicy;
+  /// re-arbitrates immediately. Survives release/re-arm, reset on
+  /// unregister (ids are recycled into fresh tenants).
+  void set_tenant_weight(int tenant, int weight);
+  int tenant_weight(int tenant) const;
 
   /// Tenant goes live. Its initial desired LP is the pool's current target
   /// (what a freshly armed uncoordinated controller would reason from), so a
@@ -76,7 +111,8 @@ class LpBudgetCoordinator {
   /// next evaluation.
   int request(int tenant, int desired, double pressure);
 
-  /// Tenant disarmed or completed: its grant returns to the budget.
+  /// Tenant disarmed or completed: its grant returns to the budget (and its
+  /// preemption-hold protection is dropped with it).
   void release(int tenant);
 
   int granted(int tenant) const;
@@ -109,10 +145,16 @@ class LpBudgetCoordinator {
     int desired = 0;
     int grant = 0;
     double pressure = 0.0;
+    int weight = 1;
+    /// When this tenant's grant last grew; arm/release reset it to the far
+    /// past so hold protection can never outlive the arm that earned it.
+    TimePoint last_grow = kNeverGrew;
   };
+  static constexpr TimePoint kNeverGrew = -1.0e300;
 
-  /// Recompute every armed tenant's grant from (desired, pressure), record
-  /// grant changes, and push the aggregate target to the pool.
+  /// Recompute every armed tenant's grant (policy + preemption hold), record
+  /// grant changes, install the grant vector into the pool's weighted
+  /// dispatch, and push the aggregate target to the pool.
   void arbitrate_locked();
   const Tenant* find_locked(int tenant) const;
   Tenant* find_locked(int tenant);
@@ -123,6 +165,8 @@ class LpBudgetCoordinator {
   mutable std::mutex mu_;
   int budget_;
   int peak_total_ = 0;
+  std::unique_ptr<ArbitrationPolicy> policy_;
+  Duration preemption_hold_ = 0.0;
   std::vector<Tenant> tenants_;  // index = tenant id - 1
   std::vector<int> free_ids_;    // unregistered slots awaiting reuse
   std::vector<TenantAction> history_;

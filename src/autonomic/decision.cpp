@@ -17,6 +17,7 @@ std::string to_string(DecisionReason r) {
     case DecisionReason::kIncreaseToGoal: return "increase-to-goal";
     case DecisionReason::kIncreaseSaturated: return "increase-saturated";
     case DecisionReason::kDecreaseHalf: return "decrease-half";
+    case DecisionReason::kDisarmed: return "disarmed";
   }
   return "?";
 }

@@ -27,6 +27,9 @@ enum class DecisionReason : int {
   kIncreaseToGoal,     // smallest LP meeting the goal
   kIncreaseSaturated,  // no LP <= max meets the goal: use min(optimal, max)
   kDecreaseHalf,       // half the threads still meet the goal
+  kDisarmed,           // controller not armed: no goal to plan for, no
+                       // Execute step (in particular, no coordinator request
+                       // that could race a reclaimed grant back in)
 };
 
 std::string to_string(DecisionReason r);

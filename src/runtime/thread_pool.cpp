@@ -9,9 +9,12 @@ namespace {
 
 // Identifies the pool worker running on this thread (if any) so submit() can
 // route nested tasks to the worker's own deque without any global lock.
+// `rot` rotates the tenant-queue scan start per pick, so equal-scored
+// tenants round-robin instead of always favoring low slots.
 struct WorkerTls {
   ResizableThreadPool* pool = nullptr;
   int index = -1;
+  unsigned rot = 0;
 };
 thread_local WorkerTls tls_worker;
 
@@ -48,10 +51,26 @@ void ResizableThreadPool::submit(Task task) { submit(std::move(task), 0); }
 
 void ResizableThreadPool::submit(Task task, int tenant) {
   assert(!stopping_.load(std::memory_order_relaxed) && "submit after shutdown");
-  // Tagged submits only: the untagged hot path pays nothing for accounting.
+  // Tagged submits only: the untagged hot path pays one predictable branch.
   if (tenant > 0) {
-    const auto slot = static_cast<std::size_t>((tenant - 1) % kTenantSlots);
-    tenant_submitted_[slot].n.fetch_add(1, std::memory_order_relaxed);
+    TenantState& ts = get_tenant_state(tenant);
+    ts.submitted.fetch_add(1, std::memory_order_relaxed);
+    if (tenant_dispatch_.load(std::memory_order_relaxed) ==
+        static_cast<int>(TenantDispatch::kWeighted)) {
+      inflight_.fetch_add(1, std::memory_order_acq_rel);
+      // Gauges are bumped before the push (scanners may transiently see a
+      // count without a task — they re-check under ts.mu — but never a task
+      // without a count, so the queued_ sleep/wake protocol stays exact).
+      ts.queued.fetch_add(1, std::memory_order_relaxed);
+      tenant_tasks_.fetch_add(1, std::memory_order_relaxed);
+      queued_.fetch_add(1, std::memory_order_seq_cst);
+      {
+        std::lock_guard lock(ts.mu);
+        ts.tasks.push_back(std::move(task));
+      }
+      maybe_wake_one();
+      return;
+    }
   }
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   // Counted before the push so queued_ can never underflow when a worker
@@ -69,6 +88,116 @@ void ResizableThreadPool::submit(Task task, int tenant) {
   maybe_wake_one();
 }
 
+ResizableThreadPool::TenantState* ResizableThreadPool::find_tenant_state(
+    int tenant) const {
+  if (tenant <= 0) return nullptr;
+  TenantState& slot =
+      tenant_slots_[static_cast<std::size_t>((tenant - 1) % kTenantSlots)];
+  if (slot.id.load(std::memory_order_acquire) == tenant) return &slot;
+  if (overflow_states_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::lock_guard lock(overflow_mu_);
+  const auto it = overflow_.find(tenant);
+  return it == overflow_.end() ? nullptr : it->second.get();
+}
+
+ResizableThreadPool::TenantState& ResizableThreadPool::get_tenant_state(
+    int tenant) {
+  const int slot_index = (tenant - 1) % kTenantSlots;
+  TenantState& slot = tenant_slots_[static_cast<std::size_t>(slot_index)];
+  int cur = slot.id.load(std::memory_order_acquire);
+  if (cur == tenant) return slot;
+  if (cur == 0 &&
+      slot.id.compare_exchange_strong(cur, tenant, std::memory_order_acq_rel)) {
+    // Publish the claim to the dispatch scan (monotonic max; claims are
+    // permanent, so the high-water mark never over- or under-counts).
+    int hwm = tenant_slot_hwm_.load(std::memory_order_relaxed);
+    while (hwm < slot_index + 1 &&
+           !tenant_slot_hwm_.compare_exchange_weak(hwm, slot_index + 1,
+                                                   std::memory_order_acq_rel)) {
+    }
+    return slot;
+  }
+  if (cur == tenant) return slot;  // lost the CAS to a same-tenant claim
+  // Slot collision (or > kTenantSlots live ids): exact side map, so two live
+  // tenants never merge counts or dispatch weights. The map is permanent per
+  // id — the coordinator recycles ids, which keeps it O(peak live tenants).
+  std::lock_guard lock(overflow_mu_);
+  std::unique_ptr<TenantState>& state = overflow_[tenant];
+  if (state == nullptr) {
+    state = std::make_unique<TenantState>();
+    state->id.store(tenant, std::memory_order_relaxed);
+    overflow_states_.fetch_add(1, std::memory_order_release);
+  }
+  return *state;
+}
+
+void ResizableThreadPool::set_tenant_grant(int tenant, int grant) {
+  if (tenant <= 0) return;
+  get_tenant_state(tenant).grant.store(std::max(0, grant),
+                                       std::memory_order_relaxed);
+}
+
+int ResizableThreadPool::tenant_grant(int tenant) const {
+  const TenantState* ts = find_tenant_state(tenant);
+  return ts == nullptr ? 0 : ts->grant.load(std::memory_order_relaxed);
+}
+
+int ResizableThreadPool::tenant_queued(int tenant) const {
+  const TenantState* ts = find_tenant_state(tenant);
+  return ts == nullptr ? 0 : ts->queued.load(std::memory_order_relaxed);
+}
+
+int ResizableThreadPool::tenant_running(int tenant) const {
+  const TenantState* ts = find_tenant_state(tenant);
+  return ts == nullptr ? 0 : ts->running.load(std::memory_order_relaxed);
+}
+
+void ResizableThreadPool::set_tenant_dispatch(TenantDispatch mode) {
+  tenant_dispatch_.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+TenantDispatch ResizableThreadPool::tenant_dispatch() const {
+  return static_cast<TenantDispatch>(
+      tenant_dispatch_.load(std::memory_order_relaxed));
+}
+
+ResizableThreadPool::TenantState* ResizableThreadPool::pick_tenant_queue(
+    unsigned rot) const {
+  TenantState* best = nullptr;
+  double best_score = 0.0;
+  const auto consider = [&](TenantState& ts) {
+    if (ts.queued.load(std::memory_order_relaxed) <= 0) return;
+    const int grant = ts.grant.load(std::memory_order_relaxed);
+    const int running = ts.running.load(std::memory_order_relaxed);
+    // Deficit tier (scores >= 2): a tenant below its grant, most-starved
+    // first — restores each grant to ~grant threads of service. Surplus
+    // tier (scores <= 0.5): at/above grant, least-over first — spare
+    // capacity is shared instead of compounding one tenant's lead, and a
+    // zero-grant tenant is served whenever no deficit exists.
+    const double score = running < grant
+                             ? 1.0 + static_cast<double>(grant - running)
+                             : 1.0 / (2.0 + static_cast<double>(running - grant));
+    if (best == nullptr || score > best_score) {
+      best = &ts;
+      best_score = score;
+    }
+  };
+  // Only claimed slots are worth touching: bound the scan by the claim
+  // high-water mark so two live tenants cost 2 cache lines, not 64.
+  const int hwm = tenant_slot_hwm_.load(std::memory_order_acquire);
+  for (int k = 0; k < hwm; ++k) {
+    TenantState& ts = tenant_slots_[(rot + static_cast<unsigned>(k)) %
+                                    static_cast<unsigned>(hwm)];
+    if (ts.id.load(std::memory_order_relaxed) == 0) continue;
+    consider(ts);
+  }
+  if (overflow_states_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard lock(overflow_mu_);
+    for (auto& [id, state] : overflow_) consider(*state);
+  }
+  return best;
+}
+
 void ResizableThreadPool::maybe_wake_one() {
   // Wake throttle: rouse a sleeping worker only when no thief is already
   // between wake-up and first find. Without this, a worker fanning out N
@@ -84,7 +213,9 @@ void ResizableThreadPool::maybe_wake_one() {
   }
 }
 
-bool ResizableThreadPool::try_get_task(int index, Task& out) {
+bool ResizableThreadPool::try_get_task(int index, Task& out,
+                                       TenantState*& from_tenant) {
+  from_tenant = nullptr;
   // 1. Own deque, newest first: depth-first for nested skeletons — one map
   //    chunk completes (and its merge runs) before the next chunk starts when
   //    capacity is scarce. This matches the paper's §5 trace, where the first
@@ -105,7 +236,29 @@ bool ResizableThreadPool::try_get_task(int index, Task& out) {
       return true;
     }
   }
-  // 3. Steal from a sibling — parked siblings included, so work never
+  // 3. Tenant run queues, grant-weighted pick (skipped in one relaxed load
+  //    when no tagged work exists, so untagged workloads pay nothing). The
+  //    scored pick can lose a race to a sibling taking the same queue's last
+  //    task; one re-pick covers the common case and a final miss just falls
+  //    through — queued_ > 0 keeps the worker from sleeping, so it retries.
+  if (tenant_tasks_.load(std::memory_order_relaxed) > 0) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      TenantState* ts = pick_tenant_queue(tls_worker.rot++);
+      if (ts == nullptr) break;
+      std::unique_lock qlock(ts->mu);
+      if (ts->tasks.empty()) continue;
+      out = std::move(ts->tasks.back());  // newest first: depth-first per tenant
+      ts->tasks.pop_back();
+      qlock.unlock();
+      ts->queued.fetch_sub(1, std::memory_order_relaxed);
+      tenant_tasks_.fetch_sub(1, std::memory_order_relaxed);
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      ts->running.fetch_add(1, std::memory_order_relaxed);
+      from_tenant = ts;
+      return true;
+    }
+  }
+  // 4. Steal from a sibling — parked siblings included, so work never
   //    strands on a deque whose owner got parked mid-expansion. Batch steal:
   //    take the oldest task plus up to half of the victim's remainder, so
   //    the wake-up that got us here is amortized over several tasks. The
@@ -171,7 +324,8 @@ void ResizableThreadPool::worker_loop(int index) {
     // shrink parks the newest ones.
     if (index < target_lp_.load(std::memory_order_acquire)) {
       Task task;
-      if (try_get_task(index, task)) {
+      TenantState* from_tenant = nullptr;
+      if (try_get_task(index, task, from_tenant)) {
         // Chain the wake: a *woken* thief that found work rouses the next
         // sleeper if work remains (one at a time, not a thundering herd).
         // Ordinary local pops don't wake anyone — submits already did.
@@ -185,6 +339,9 @@ void ResizableThreadPool::worker_loop(int index) {
           gauge_.task_started();
         }
         task();
+        if (from_tenant != nullptr) {
+          from_tenant->running.fetch_sub(1, std::memory_order_relaxed);
+        }
         ++completed;
         continue;
       }
@@ -231,9 +388,8 @@ void ResizableThreadPool::worker_loop(int index) {
 }
 
 std::uint64_t ResizableThreadPool::tenant_submitted(int tenant) const {
-  if (tenant <= 0) return 0;
-  const auto slot = static_cast<std::size_t>((tenant - 1) % kTenantSlots);
-  return tenant_submitted_[slot].n.load(std::memory_order_relaxed);
+  const TenantState* ts = find_tenant_state(tenant);
+  return ts == nullptr ? 0 : ts->submitted.load(std::memory_order_relaxed);
 }
 
 int ResizableThreadPool::set_target_lp(int n) {

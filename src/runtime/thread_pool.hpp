@@ -14,11 +14,32 @@
 //    state submit/pop touch one uncontended lock and the pool-wide mutex is
 //    never taken;
 //  * tasks submitted from outside the pool land in a global injection queue;
-//  * a worker that runs dry drains the injection queue, then steals the
-//    oldest task from a sibling's deque (parked siblings included, so no
-//    work ever strands on a parked worker);
+//  * tenant-tagged tasks (multi-tenant mode) land in per-tenant run queues
+//    and are dispatched by a grant-weighted policy (see "Tenant-aware
+//    dispatch" below), turning the coordinator's LP grants into actual
+//    scheduling isolation;
+//  * a worker that runs dry drains the injection queue, then the tenant
+//    queues, then steals the oldest task from a sibling's deque (parked
+//    siblings included, so no work ever strands on a parked worker);
 //  * the pool-wide mutex `mu_` is control-plane only: LP changes, parking,
 //    sleeping and shutdown.
+//
+// Tenant-aware dispatch (grant vector -> steal weights):
+//  * the LP-budget coordinator installs its grant vector via
+//    `set_tenant_grant`; each tenant's queue carries two relaxed gauges,
+//    `queued` (tasks waiting) and `running` (workers executing that tenant
+//    right now);
+//  * a worker picking its next tenant queue scores every non-empty queue:
+//    tenants *below* their grant score `1 + (grant - running)` (most-starved
+//    first, so a tenant holding G threads of grant converges to ~G threads
+//    of service), tenants *at or above* their grant score
+//    `1 / (2 + running - grant)` — always < 1, so deficit tenants strictly
+//    outrank surplus ones, while idle capacity still falls through to any
+//    ready tenant (work conservation; a zero-grant tenant is never starved
+//    forever, merely deprioritized);
+//  * the weights are advisory reads of relaxed atomics: a reclaimed grant
+//    may be observed one dispatch late, bounding a victim's overshoot to
+//    one task per worker, never accumulating.
 //
 // Invariants:
 //  * at most `target_lp()` workers execute tasks concurrently;
@@ -36,6 +57,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/lp_gauge.hpp"
@@ -44,6 +66,14 @@
 #include "util/clock.hpp"
 
 namespace askel {
+
+/// Where tenant-tagged submits go. kWeighted (default) routes them to
+/// per-tenant run queues served by the grant-weighted pick; kFifo routes
+/// them exactly like untagged tasks (PR 2 behavior: accounting only, no
+/// isolation) — the A/B baseline for bench/multi_tenant. Switching modes
+/// never strands work: queues filled under kWeighted are drained regardless
+/// of the current mode.
+enum class TenantDispatch : int { kFifo = 0, kWeighted = 1 };
 
 class ResizableThreadPool {
  public:
@@ -62,18 +92,35 @@ class ResizableThreadPool {
   /// lock); from any other thread it goes to the injection queue.
   void submit(Task task);
 
-  /// Tenant-tagged submit: identical scheduling, plus per-tenant accounting
-  /// (one relaxed increment of a cacheline-private counter). Tenant ids are
-  /// positive integers handed out by the LP-budget coordinator, hashed over
-  /// kTenantSlots accounting slots. Untagged submits (tenant <= 0 — the
-  /// default overload, and every run without multi-tenant wiring) skip the
-  /// accounting entirely: the single-tenant hot path PR 1 decontended pays
-  /// nothing for this hook.
+  /// Tenant-tagged submit: the task goes to `tenant`'s run queue (kWeighted
+  /// mode) where the grant-weighted dispatch serves it, plus per-tenant
+  /// accounting. Tenant ids are positive integers handed out by the
+  /// LP-budget coordinator; each live id owns one of kTenantSlots direct
+  /// accounting slots, claimed by CAS — two ids hashing to the same slot no
+  /// longer merge silently, the loser falls back to an exact (mutex-guarded)
+  /// side map. Untagged submits (tenant <= 0 — the default overload, and
+  /// every run without multi-tenant wiring) skip all of this: the
+  /// single-tenant hot path PR 1 decontended pays one predictable branch.
   void submit(Task task, int tenant);
 
-  /// Tasks ever submitted under `tenant`'s accounting slot (0 for ids <= 0,
-  /// which are never counted).
+  /// Tasks ever submitted under exactly `tenant` (0 for ids <= 0, which are
+  /// never counted). Exact even when ids collide on an accounting slot.
   std::uint64_t tenant_submitted(int tenant) const;
+
+  /// Install one entry of the coordinator's grant vector (the tenant's
+  /// current LP grant, >= 0). Relaxedly read by the dispatch weights; a
+  /// worker mid-pick may use a grant one update stale, which bounds any
+  /// tenant's overshoot to one task per worker.
+  void set_tenant_grant(int tenant, int grant);
+  int tenant_grant(int tenant) const;
+  /// Tasks waiting in `tenant`'s run queue right now.
+  int tenant_queued(int tenant) const;
+  /// Workers executing `tenant`'s tasks right now.
+  int tenant_running(int tenant) const;
+
+  /// Select where tenant-tagged submits are routed (default kWeighted).
+  void set_tenant_dispatch(TenantDispatch mode);
+  TenantDispatch tenant_dispatch() const;
 
   /// Change the level of parallelism. Clamped to [1, min(max_lp, lp_limit)].
   /// Growing spawns or unparks workers; shrinking parks surplus workers at
@@ -126,6 +173,20 @@ class ResizableThreadPool {
   void wait_idle();
 
  private:
+  /// One tenant's scheduling state: run queue + accounting + dispatch
+  /// gauges. Lives either in a direct slot of `tenant_slots_` (claimed by
+  /// CAS on `id`) or, on slot collision, in the exact side map. One cache
+  /// line per slot: concurrent tenants must not false-share on submit.
+  struct alignas(64) TenantState {
+    std::atomic<int> id{0};       // owning tenant id; 0 = slot unclaimed
+    std::atomic<int> grant{0};    // coordinator grant vector entry
+    std::atomic<int> running{0};  // workers executing this tenant now
+    std::atomic<int> queued{0};   // tasks in `tasks` (advisory, for scans)
+    std::atomic<std::uint64_t> submitted{0};
+    std::mutex mu;                // guards `tasks` only
+    std::deque<Task> tasks;       // LIFO run queue (newest popped first)
+  };
+
   void worker_loop(int index);
   void spawn_locked(int count);
   /// Locked core of set_target_lp/set_lp_limit: clamps against max_lp and
@@ -134,7 +195,18 @@ class ResizableThreadPool {
   /// timer for a delayed grow. Returns the clamped value.
   int request_target_locked(int n, bool& grew, bool& applied);
   int apply_target_locked(int n);
-  bool try_get_task(int index, Task& out);
+  /// `from_tenant` is set when the task came from a tenant run queue (its
+  /// `running` gauge was incremented and must be decremented after the
+  /// task); null for every other source.
+  bool try_get_task(int index, Task& out, TenantState*& from_tenant);
+  /// Grant-weighted pick over non-empty tenant queues (see file header);
+  /// `rot` rotates the scan start so ties round-robin across workers.
+  TenantState* pick_tenant_queue(unsigned rot) const;
+  /// The state owning exactly `tenant`, or nullptr. Never creates.
+  TenantState* find_tenant_state(int tenant) const;
+  /// The state owning exactly `tenant`, created (slot CAS-claim, else exact
+  /// side map) if missing.
+  TenantState& get_tenant_state(int tenant);
   void maybe_wake_one();
   void reap_finished_timers_locked();
 
@@ -157,14 +229,25 @@ class ResizableThreadPool {
   std::atomic<int> lp_limit_;      // budget cap; initialized to max_lp_
   std::atomic<bool> stopping_{false};
 
-  // Per-tenant submit accounting (multi-tenant observability; relaxed, the
-  // counters order nothing). One cache line per slot: concurrent tenants
-  // must not false-share on the submit path.
+  // ---- tenant plane: per-tenant run queues + grant-weighted dispatch ------
+  // Direct slots for the common case (<= kTenantSlots live ids, no
+  // collision): submit-side lookup is one relaxed load. Colliding or
+  // overflowing ids live in the exact side map behind `overflow_mu_`;
+  // `overflow_states_` lets the dispatch scan skip the map (and its lock)
+  // entirely while it is empty. `tenant_tasks_` is the sum of all tenant
+  // `queued` gauges: the untagged dispatch path pays a single relaxed load
+  // to skip the whole tenant plane when no tagged work exists.
   static constexpr int kTenantSlots = 64;
-  struct alignas(64) TenantCounter {
-    std::atomic<std::uint64_t> n{0};
-  };
-  std::array<TenantCounter, kTenantSlots> tenant_submitted_{};
+  mutable std::array<TenantState, kTenantSlots> tenant_slots_{};
+  mutable std::mutex overflow_mu_;
+  mutable std::unordered_map<int, std::unique_ptr<TenantState>> overflow_;
+  std::atomic<int> overflow_states_{0};
+  // Highest claimed slot index + 1 (slots are claimed once and never
+  // released, so a monotonic max is exact): the dispatch pick scans only
+  // [0, hwm) instead of all 64 cache-line-aligned slots.
+  std::atomic<int> tenant_slot_hwm_{0};
+  std::atomic<int> tenant_tasks_{0};
+  std::atomic<int> tenant_dispatch_{static_cast<int>(TenantDispatch::kWeighted)};
 
   // ---- control plane: LP changes, parking, sleeping, shutdown --------------
   struct ProvisionTimer {

@@ -27,8 +27,11 @@ class Engine {
   const CtxPtr& last_context() const { return last_ctx_; }
 
   /// Multi-tenant wiring: tag every task this engine launches with a
-  /// coordinator tenant id, so the shared pool attributes submissions to this
-  /// skeleton instance. Takes effect for subsequent run() calls. 0 = none.
+  /// coordinator tenant id. The shared pool attributes submissions to this
+  /// skeleton instance AND routes them to the tenant's run queue, where the
+  /// grant-weighted dispatch serves them in proportion to the coordinator's
+  /// grant (real scheduling isolation, not just accounting). Takes effect
+  /// for subsequent run() calls. 0 = none (untagged fast path).
   void set_tenant(int tenant) { tenant_ = tenant; }
   int tenant() const { return tenant_; }
 

@@ -161,6 +161,7 @@ ScenarioResult run_wordcount_scenario(const ScenarioConfig& cfg,
   int tenant = 0;
   if (cfg.coordinator != nullptr) {
     tenant = cfg.coordinator->register_tenant("wordcount");
+    controller.set_sla_weight(cfg.sla_weight);
     controller.bind_coordinator(cfg.coordinator, tenant);
   }
   // A muscle exception propagates out of fut.get() below; the tenant's grant

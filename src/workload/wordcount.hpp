@@ -107,6 +107,9 @@ struct ScenarioConfig {
   /// single-controller original.
   ResizableThreadPool* shared_pool = nullptr;
   LpBudgetCoordinator* coordinator = nullptr;
+  /// SLA class weight of this run's tenant (>= 1; only meaningful with a
+  /// coordinator running a WeightedSharePolicy).
+  int sla_weight = 1;
 };
 
 struct ScenarioResult {

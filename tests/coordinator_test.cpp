@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <thread>
 
@@ -225,7 +226,123 @@ TEST(Coordinator, ShrinkingLimitLowersPendingRequest) {
   EXPECT_EQ(pool.target_lp(), 3);
 }
 
-// ---------------------------------------------- single-controller parity --
+// ------------------------------------------------- arbitration policies --
+
+TEST(Coordinator, DefaultPolicyIsDeadlinePressure) {
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 4);
+  EXPECT_EQ(coord.policy_name(), "deadline-pressure");
+  coord.set_policy(std::make_unique<WeightedSharePolicy>());
+  EXPECT_EQ(coord.policy_name(), "weighted-share");
+  coord.set_policy(nullptr);  // restores the default
+  EXPECT_EQ(coord.policy_name(), "deadline-pressure");
+}
+
+TEST(Coordinator, WeightedPolicySplitsBySlaClass) {
+  // Budget 8 over weights 4:2:1 (all demanding everything) water-fills to
+  // grants proportional to weight: {5, 2, 1}.
+  ResizableThreadPool pool(1, 16);
+  LpBudgetCoordinator coord(pool, 8);
+  coord.set_policy(std::make_unique<WeightedSharePolicy>());
+  const int gold = coord.register_tenant("gold");
+  const int silver = coord.register_tenant("silver");
+  const int bronze = coord.register_tenant("bronze");
+  coord.set_tenant_weight(gold, 4);
+  coord.set_tenant_weight(silver, 2);
+  coord.arm_tenant(gold);
+  coord.arm_tenant(silver);
+  coord.arm_tenant(bronze);
+  coord.request(gold, 8, 1.0);
+  coord.request(silver, 8, 1.0);
+  coord.request(bronze, 8, 1.0);
+  EXPECT_EQ(coord.granted(gold), 5);
+  EXPECT_EQ(coord.granted(silver), 2);
+  EXPECT_EQ(coord.granted(bronze), 1);
+  EXPECT_EQ(coord.total_granted(), 8);
+  // A lying bronze tenant reporting sky-high pressure moves nothing: the
+  // weighted policy is not gameable through self-reported misses.
+  coord.request(bronze, 8, 99.0);
+  EXPECT_EQ(coord.granted(bronze), 1);
+  EXPECT_EQ(coord.granted(gold), 5);
+}
+
+TEST(Coordinator, WeightedPolicyCapsAtDesiredAndRedistributes) {
+  // The heavy class only wants 2 threads; its unused share flows on to the
+  // lighter class instead of going idle (work conservation in arbitration).
+  ResizableThreadPool pool(1, 16);
+  LpBudgetCoordinator coord(pool, 8);
+  coord.set_policy(std::make_unique<WeightedSharePolicy>());
+  const int a = coord.register_tenant();
+  const int b = coord.register_tenant();
+  coord.set_tenant_weight(a, 4);
+  coord.arm_tenant(a);
+  coord.arm_tenant(b);
+  coord.request(a, 2, 1.0);
+  coord.request(b, 8, 1.0);
+  EXPECT_EQ(coord.granted(a), 2);
+  EXPECT_EQ(coord.granted(b), 6);
+}
+
+// --------------------------------------------- preemption-cost awareness --
+
+TEST(Coordinator, PreemptionHoldDefersReclaimUntilWindowPasses) {
+  ManualClock clock(0.0);
+  ResizableThreadPool pool(1, 16, &clock);
+  LpBudgetCoordinator coord(pool, 8, &clock);
+  coord.set_preemption_hold(10.0);
+  const int a = coord.register_tenant("ramped");
+  const int b = coord.register_tenant("contender");
+  coord.arm_tenant(a);
+  EXPECT_EQ(coord.request(a, 6, 1.0), 6);  // a ramps to 6 at t=0
+  clock.set(1.0);
+  coord.arm_tenant(b);
+  // b outpressures a, and raw arbitration would hand it 7 of 8. But a's
+  // grant is 1 s old (< hold window): a keeps its ramp, b gets the rest.
+  EXPECT_EQ(coord.request(b, 8, 5.0), 2);
+  EXPECT_EQ(coord.granted(a), 6);
+  EXPECT_EQ(coord.total_granted(), 8);  // budget stays hard under the hold
+  // Past the window the reclaim proceeds as the policy dictates.
+  clock.set(12.0);
+  EXPECT_EQ(coord.request(b, 8, 5.0), 7);
+  EXPECT_EQ(coord.granted(a), 1);
+}
+
+TEST(Coordinator, HoldNeverBlocksSelfRequestedDecrease) {
+  ManualClock clock(0.0);
+  ResizableThreadPool pool(1, 16, &clock);
+  LpBudgetCoordinator coord(pool, 8, &clock);
+  coord.set_preemption_hold(10.0);
+  const int a = coord.register_tenant();
+  coord.arm_tenant(a);
+  EXPECT_EQ(coord.request(a, 6, 1.0), 6);
+  clock.set(1.0);
+  // The tenant's own halving decision applies immediately; the hold only
+  // guards against OTHER tenants reclaiming a fresh ramp.
+  EXPECT_EQ(coord.request(a, 3, -0.2), 3);
+}
+
+TEST(Coordinator, ReleaseDropsHoldProtectionImmediately) {
+  // The disarm→re-arm leak regression: a released grant must return to the
+  // budget at once (no hold), and its protection must not survive into a
+  // later incarnation of the id.
+  ManualClock clock(0.0);
+  ResizableThreadPool pool(1, 16, &clock);
+  LpBudgetCoordinator coord(pool, 8, &clock);
+  coord.set_preemption_hold(10.0);
+  const int a = coord.register_tenant();
+  const int b = coord.register_tenant();
+  coord.arm_tenant(a);
+  EXPECT_EQ(coord.request(a, 6, 1.0), 6);
+  clock.set(1.0);  // well inside the hold window
+  coord.release(a);
+  EXPECT_EQ(coord.granted(a), 0);  // reclaim is immediate, hold or not
+  EXPECT_EQ(coord.total_granted(), 0);
+  EXPECT_EQ(pool.tenant_grant(a), 0);  // the pool's dispatch weight too
+  // A contender arriving right after sees the full budget — no stale
+  // protection reserves the released 6.
+  coord.arm_tenant(b);
+  EXPECT_EQ(coord.request(b, 8, 0.1), 8);
+}
 
 /// Drive one controller over the deterministic paper-§4 replay (virtual
 /// time), optionally routed through a coordinator, and return its actions.

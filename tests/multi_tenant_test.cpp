@@ -146,6 +146,136 @@ TEST(MultiTenant, PoolAccountsSubmitsPerTenant) {
   EXPECT_EQ(n1_after, n1);
 }
 
+TEST(MultiTenant, DisarmRearmChurnNeverLeaksGrants) {
+  // TSan-targeted: concurrent arm/request/release/re-arm churn — with the
+  // preemption hold enabled and tagged tasks in flight — while a monitor
+  // asserts the budget invariant. The regression this guards: a grant
+  // reclaimed by release() being re-installed stale (e.g. via hold
+  // protection surviving a disarm→re-arm cycle). After every release, the
+  // tenant's grant must read 0 at both the coordinator and the pool.
+  ResizableThreadPool pool(1, 8);
+  LpBudgetCoordinator coord(pool, 6);
+  coord.set_preemption_hold(0.005);  // exercise the hold path under churn
+  constexpr int kThreads = 3;
+  int ids[kThreads];
+  for (int w = 0; w < kThreads; ++w) ids[w] = coord.register_tenant("churn");
+  std::atomic<bool> stop{false};
+  std::atomic<long> violations{0};
+  std::thread monitor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (coord.total_granted() > 6) violations.fetch_add(1);
+      if (pool.target_lp() > 6) violations.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+  std::atomic<int> done{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      std::mt19937 rng(static_cast<unsigned>(97 * (w + 1)));
+      const int id = ids[w];
+      for (int i = 0; i < 200; ++i) {
+        coord.arm_tenant(id);
+        coord.request(id, 1 + static_cast<int>(rng() % 8),
+                      static_cast<double>(rng() % 100) / 20.0);
+        for (int k = 0; k < 3; ++k) {
+          pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); }, id);
+        }
+        coord.release(id);
+        // The reclaim is immediate and fully serialized: nothing may
+        // re-install this tenant's grant until WE re-arm it.
+        if (coord.granted(id) != 0) violations.fetch_add(1);
+        if (pool.tenant_grant(id) != 0) violations.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+  pool.wait_idle();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(coord.total_granted(), 0);
+  EXPECT_EQ(done.load(), kThreads * 200 * 3);
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_EQ(pool.tenant_grant(ids[w]), 0);
+    EXPECT_EQ(pool.tenant_queued(ids[w]), 0);
+  }
+}
+
+TEST(MultiTenant, AggressorFloodCannotStarveVictimOfItsShare) {
+  // Isolation property: with grants installed, an aggressor tenant flooding
+  // submits cannot push a victim below its granted share by more than one
+  // task's latency per worker. Grants 1:1 on a 2-worker pool means the two
+  // tenants' completion counts stay within a small factor of each other
+  // while both are backlogged — under the legacy LIFO dispatch, the flood's
+  // ever-newer tasks would starve the victim's earlier batch indefinitely.
+  // Count-ratio based, so TSan's uniform slowdown does not affect it.
+  ResizableThreadPool pool(2, 2);
+  const int victim = 1, aggressor = 2;
+  pool.set_tenant_grant(victim, 1);
+  pool.set_tenant_grant(aggressor, 1);
+  const auto spin = [] {
+    unsigned acc = 1;
+    for (int k = 0; k < 4000; ++k) acc = acc * 1664525u + 1013904223u;
+    volatile unsigned sink = acc;
+    (void)sink;
+  };
+  constexpr long kVictimTasks = 200;
+  std::atomic<long> victim_done{0}, aggr_done{0};
+  std::atomic<long> aggr_at_victim_end{-1};
+  std::atomic<bool> stop_flood{false};
+  std::atomic<int> flood_outstanding{0};
+  std::thread flooder([&] {
+    while (!stop_flood.load(std::memory_order_acquire)) {
+      if (flood_outstanding.load(std::memory_order_relaxed) < 256) {
+        flood_outstanding.fetch_add(1, std::memory_order_relaxed);
+        pool.submit(
+            [&] {
+              spin();
+              aggr_done.fetch_add(1, std::memory_order_relaxed);
+              flood_outstanding.fetch_sub(1, std::memory_order_relaxed);
+            },
+            aggressor);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  // Let the flood establish a real backlog first: the victim's tasks must
+  // arrive OLDER than a standing queue of aggressor work (the legacy LIFO
+  // starvation scenario), not race an empty pool.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (pool.tenant_queued(aggressor) < 128 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  const long aggr_headstart = aggr_done.load(std::memory_order_relaxed);
+  for (long i = 0; i < kVictimTasks; ++i) {
+    pool.submit(
+        [&] {
+          spin();
+          if (victim_done.fetch_add(1, std::memory_order_relaxed) + 1 ==
+              kVictimTasks) {
+            aggr_at_victim_end.store(aggr_done.load(std::memory_order_relaxed),
+                                     std::memory_order_relaxed);
+          }
+        },
+        victim);
+  }
+  while (victim_done.load() < kVictimTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop_flood.store(true, std::memory_order_release);
+  flooder.join();
+  pool.wait_idle();
+  ASSERT_EQ(victim_done.load(), kVictimTasks) << "victim starved by the flood";
+  // Equal grants => roughly equal service while the victim ran. Generous 3x
+  // plus the flood's queue-depth headstart; the legacy dispatch would be
+  // unbounded here (the victim would not finish until the flood stopped).
+  EXPECT_LE(aggr_at_victim_end.load() - aggr_headstart, kVictimTasks * 3 + 512);
+}
+
 #ifndef ASKEL_TSAN
 TEST(MultiTenant, FeasibleFairShareGoalsAreMet) {
   // Wall-clock assertion (skipped under TSan's slowdown): with K=3 tenants on

@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "runtime/thread_pool.hpp"
 
@@ -298,6 +300,125 @@ TEST(ThreadPool, QueuedCountsBacklog) {
   release.store(true);
   pool.wait_idle();
   EXPECT_EQ(pool.queued(), 0u);
+}
+
+// ------------------------------------------------- tenant-aware dispatch --
+
+TEST(ThreadPool, TenantSlotCollisionKeepsExactAccounting) {
+  // Regression: ids 1, 65 and 129 hash to the same accounting slot (64
+  // direct slots). The old fixed-array accounting silently merged their
+  // submit counts — and would have merged the new dispatch weights too.
+  // The CAS-claimed slot + exact side map must keep every id separate.
+  ResizableThreadPool pool(2, 4);
+  const int a = 1, b = 1 + 64, c = 1 + 128;
+  std::atomic<int> done{0};
+  for (int k = 0; k < 3; ++k) pool.submit([&] { done.fetch_add(1); }, a);
+  for (int k = 0; k < 2; ++k) pool.submit([&] { done.fetch_add(1); }, b);
+  pool.submit([&] { done.fetch_add(1); }, c);
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 6);
+  EXPECT_EQ(pool.tenant_submitted(a), 3u);
+  EXPECT_EQ(pool.tenant_submitted(b), 2u);
+  EXPECT_EQ(pool.tenant_submitted(c), 1u);
+  // Grants stay per-id too: installing one tenant's grant must not be
+  // visible through a colliding id.
+  pool.set_tenant_grant(a, 3);
+  pool.set_tenant_grant(b, 1);
+  EXPECT_EQ(pool.tenant_grant(a), 3);
+  EXPECT_EQ(pool.tenant_grant(b), 1);
+  EXPECT_EQ(pool.tenant_grant(c), 0);
+}
+
+TEST(ThreadPool, WaitIdleDrainsTenantQueues) {
+  // wait_idle must cover tasks parked in the per-tenant run queues, mixed
+  // with untagged deque/injection tasks — including colliding ids, which
+  // exercise the exact side map on the dispatch path.
+  ResizableThreadPool pool(2, 4);
+  std::atomic<int> done{0};
+  constexpr int kPerSource = 100;
+  std::vector<std::thread> submitters;
+  for (const int tenant : {0, 1, 2, 1 + 64}) {
+    submitters.emplace_back([&, tenant] {
+      for (int k = 0; k < kPerSource; ++k) {
+        pool.submit(
+            [&] {
+              done.fetch_add(1);
+              // Nested mixed spawns: a tagged parent fanning out an
+              // untagged child and vice versa, both covered by the same
+              // wait_idle.
+              if (done.load() % 10 == 0) {
+                pool.submit([&] { done.fetch_add(1); });
+              }
+            },
+            tenant);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.wait_idle();
+  const int after = done.load();
+  EXPECT_GE(after, 4 * kPerSource);
+  EXPECT_EQ(pool.queued(), 0u);
+  for (const int tenant : {1, 2, 1 + 64}) {
+    EXPECT_EQ(pool.tenant_queued(tenant), 0);
+    EXPECT_EQ(pool.tenant_running(tenant), 0);
+    EXPECT_EQ(pool.tenant_submitted(tenant), static_cast<std::uint64_t>(kPerSource));
+  }
+  // No stragglers: a second wait_idle returns immediately with nothing new.
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), after);
+}
+
+TEST(ThreadPool, FifoDispatchModeBypassesTenantQueues) {
+  // kFifo is the A/B baseline: tagged submits route exactly like untagged
+  // ones (accounting only), so the tenant queues stay empty.
+  ResizableThreadPool pool(1, 1);
+  pool.set_tenant_dispatch(TenantDispatch::kFifo);
+  EXPECT_EQ(pool.tenant_dispatch(), TenantDispatch::kFifo);
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(5ms);
+  pool.submit([&] { done.fetch_add(1); }, /*tenant=*/7);
+  pool.submit([&] { done.fetch_add(1); }, /*tenant=*/7);
+  EXPECT_EQ(pool.queued(), 2u);
+  EXPECT_EQ(pool.tenant_queued(7), 0);  // backlog sits in the legacy queues
+  EXPECT_EQ(pool.tenant_submitted(7), 2u);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPool, GrantDeficitOutranksSurplusTenant) {
+  // Deterministic pick-order check on a held worker: with one worker and a
+  // backlog from two tenants, the tenant below its grant is served before
+  // the zero-grant one regardless of submission order.
+  ResizableThreadPool pool(1, 1);
+  pool.set_tenant_grant(1, 1);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(5ms);
+  std::vector<int> order;
+  std::mutex order_mu;
+  const auto record = [&](int who) {
+    std::lock_guard lock(order_mu);
+    order.push_back(who);
+  };
+  // Zero-grant tenant 2 submits first (and would win a LIFO race: its task
+  // is... oldest; under legacy LIFO the NEWEST wins, i.e. tenant 1 — so
+  // interleave to make the distinction real: 2, 1, 2: legacy LIFO order
+  // would be 2(last), 1, 2(first); weighted order is 1 first).
+  pool.submit([&] { record(2); }, 2);
+  pool.submit([&] { record(1); }, 1);
+  pool.submit([&] { record(2); }, 2);
+  release.store(true);
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);  // granted tenant served first
 }
 
 }  // namespace
