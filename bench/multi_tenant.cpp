@@ -61,8 +61,6 @@ std::unique_ptr<ArbitrationPolicy> make_policy(const std::string& name) {
   return std::make_unique<DeadlinePressurePolicy>();
 }
 
-const char* json_bool(bool b) { return b ? "true" : "false"; }
-
 // ------------------------------------------------------------- staggered --
 
 int run_staggered(bool smoke, double scale, int budget,

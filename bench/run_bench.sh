@@ -8,15 +8,18 @@
 #   * multi-tenant staggered: K=4 controllers on one budget, run under BOTH
 #     arbitration policies (deadline-pressure and weighted-share),
 #   * multi-tenant aggressor: victim vs flooding aggressor, weighted
-#     isolation vs the FIFO dispatch baseline.
+#     isolation vs the FIFO dispatch baseline,
+#   * estimator A/B (PR 4): fig5/6/7 scenarios under each estimator family
+#     member (EWMA / window mean / window median / P^2 quantile) plus the
+#     deterministic bursty-stream accuracy ranking.
 # The per-scenario raw JSONs are kept next to the output
-# (<out>.pressure.json / <out>.weighted.json / <out>.aggressor.json) so CI
-# can upload each artifact individually.
+# (<out>.pressure.json / <out>.weighted.json / <out>.aggressor.json /
+# <out>.estimators.json) so CI can upload each artifact individually.
 #
 # Usage: bench/run_bench.sh [--smoke] [output.json]
 #   --smoke: CI smoke mode — tiny iteration counts, no timing assertions;
 #            proves the bench pipeline runs and uploads an inspectable JSON.
-#   default output: BENCH_PR3.json in cwd.
+#   default output: BENCH_PR4.json in cwd.
 
 set -euo pipefail
 
@@ -28,7 +31,7 @@ for arg in "$@"; do
     *) out_json="${arg}" ;;
   esac
 done
-out_json="${out_json:-BENCH_PR3.json}"
+out_json="${out_json:-BENCH_PR4.json}"
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
@@ -51,6 +54,7 @@ raw_json="$(mktemp)"
 mt_pressure_json="${out_json%.json}.pressure.json"
 mt_weighted_json="${out_json%.json}.weighted.json"
 mt_aggressor_json="${out_json%.json}.aggressor.json"
+est_ab_json="${out_json%.json}.estimators.json"
 trap 'rm -f "${raw_json}"' EXIT
 
 min_time=0.2
@@ -79,6 +83,12 @@ mt_args=()
 "${build_dir}/multi_tenant" "${mt_args[@]+"${mt_args[@]}"}" \
   --scenario aggressor > "${mt_aggressor_json}"
 
+# Estimator family A/B (PR 4): fig5/6/7 under each estimator + the
+# deterministic stream-accuracy ranking. Smoke mode shrinks the scale.
+est_args=(--estimators)
+[[ ${smoke} -eq 1 ]] && est_args+=(--smoke)
+"${build_dir}/wct_algorithms" "${est_args[@]}" > "${est_ab_json}"
+
 # WCT algorithm comparison rides along for the scheduling-cost trajectory
 # (skipped in smoke mode: it is the slowest piece and purely informational).
 if [[ ${smoke} -eq 0 ]]; then
@@ -86,13 +96,14 @@ if [[ ${smoke} -eq 0 ]]; then
 fi
 
 python3 - "${raw_json}" "${mt_pressure_json}" "${mt_weighted_json}" \
-  "${mt_aggressor_json}" "${out_json}" "${smoke}" <<'EOF'
+  "${mt_aggressor_json}" "${out_json}" "${smoke}" "${est_ab_json}" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
 mt_pressure = json.load(open(sys.argv[2]))
 mt_weighted = json.load(open(sys.argv[3]))
 mt_aggressor = json.load(open(sys.argv[4]))
+estimator_ab = json.load(open(sys.argv[7]))
 by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
 
 def ns(name):
@@ -104,7 +115,7 @@ def items_per_sec(name):
     return round(b["items_per_second"]) if b and "items_per_second" in b else None
 
 out = {
-    "pr": 3,
+    "pr": 4,
     "smoke": sys.argv[6] == "1",
     "context": raw.get("context", {}),
     "event_dispatch_ns": {
@@ -132,6 +143,7 @@ out = {
         "staggered_weighted": mt_weighted,
         "aggressor": mt_aggressor,
     },
+    "estimator_ab": estimator_ab,
 }
 json.dump(out, open(sys.argv[5], "w"), indent=2)
 print(f"wrote {sys.argv[5]}")

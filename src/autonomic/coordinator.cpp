@@ -89,6 +89,11 @@ void LpBudgetCoordinator::unregister_tenant(int tenant) {
   t->weight = 1;
   t->last_grow = kNeverGrew;
   arbitrate_locked();  // returns the grant to the budget (recorded)
+  // Drop the pool's accounting/dispatch state for the dead id so the exact
+  // side map stays bounded by live tenants. Best-effort: a tenant whose last
+  // tasks are still draining keeps its state (the recycled id simply
+  // reclaims it on its next use — the pre-retirement behavior).
+  pool_.retire_tenant(tenant);
   free_ids_.push_back(tenant);
 }
 

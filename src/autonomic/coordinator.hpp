@@ -89,7 +89,8 @@ class LpBudgetCoordinator {
   /// stream of runs stays O(live tenants)), so callers must not touch an id
   /// after unregistering it. `name` is for the action history only.
   int register_tenant(std::string name = {});
-  /// Releases the tenant's grant (if armed) and recycles its id.
+  /// Releases the tenant's grant (if armed), retires the pool's per-tenant
+  /// accounting state (when already drained), and recycles the id.
   void unregister_tenant(int tenant);
 
   /// SLA class weight (>= 1, default 1) used by WeightedSharePolicy;

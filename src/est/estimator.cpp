@@ -1,0 +1,282 @@
+#include "est/estimator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "est/ewma.hpp"
+
+namespace askel {
+namespace {
+
+// ------------------------------------------------------------------ EWMA --
+
+/// The paper's estimator behind the interface. Delegates to the legacy
+/// `Ewma` so a registry configured with kEwma is bit-identical to the
+/// pre-interface code path (asserted by property_test).
+class EwmaEstimator final : public Estimator {
+ public:
+  explicit EwmaEstimator(double rho) : e_(rho) {}
+
+  void init(double v) override { e_.init(v); }
+  void observe(double actual) override { e_.observe(actual); }
+  bool has_value() const override { return e_.has_value(); }
+  double value() const override { return e_.value(); }
+  long observations() const override { return e_.observations(); }
+  std::unique_ptr<Estimator> clone_fresh() const override {
+    return std::make_unique<EwmaEstimator>(e_.rho());
+  }
+  EstimatorKind kind() const override { return EstimatorKind::kEwma; }
+
+ private:
+  Ewma e_;
+};
+
+// -------------------------------------------------------- sliding window --
+
+/// The last W samples in chronological order — the estimator's state IS
+/// exactly those samples, so two instances fed the same last W observations
+/// agree bit for bit regardless of earlier history (property-tested). An
+/// init seed occupies one slot (it influences early estimates, like the
+/// EWMA's seeded prevEst) but is not counted as an observation and is
+/// evicted by the W-th real observation.
+class WindowEstimator : public Estimator {
+ public:
+  explicit WindowEstimator(int window) : window_(window) {
+    if (window < 1)
+      throw std::invalid_argument("WindowEstimator: window must be >= 1");
+    buf_.reserve(static_cast<std::size_t>(window));
+  }
+
+  void init(double v) override { push(v); }
+
+  void observe(double actual) override {
+    push(actual);
+    ++observations_;
+  }
+
+  bool has_value() const override { return !buf_.empty(); }
+  long observations() const override { return observations_; }
+  int window() const { return window_; }
+
+ protected:
+  /// Oldest to newest.
+  const std::vector<double>& samples() const { return buf_; }
+
+ private:
+  void push(double v) {
+    if (static_cast<int>(buf_.size()) == window_) {
+      buf_.erase(buf_.begin());  // O(W); W is small and observe holds a lock
+    }
+    buf_.push_back(v);
+  }
+
+  int window_;
+  std::vector<double> buf_;
+  long observations_ = 0;
+};
+
+class WindowMeanEstimator final : public WindowEstimator {
+ public:
+  using WindowEstimator::WindowEstimator;
+
+  double value() const override {
+    if (samples().empty()) return 0.0;  // out-of-contract: degrade like Ewma
+    double sum = 0.0;
+    for (const double v : samples()) sum += v;
+    return sum / static_cast<double>(samples().size());
+  }
+  std::unique_ptr<Estimator> clone_fresh() const override {
+    return std::make_unique<WindowMeanEstimator>(window());
+  }
+  EstimatorKind kind() const override { return EstimatorKind::kWindowMean; }
+};
+
+class WindowMedianEstimator final : public WindowEstimator {
+ public:
+  using WindowEstimator::WindowEstimator;
+
+  double value() const override {
+    if (samples().empty()) return 0.0;  // out-of-contract: degrade like Ewma
+    std::vector<double> s = samples();
+    const std::size_t mid = s.size() / 2;
+    std::nth_element(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(mid),
+                     s.end());
+    const double hi = s[mid];
+    if (s.size() % 2 == 1) return hi;
+    // Even size: average the two middle ranks.
+    const double lo =
+        *std::max_element(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(mid));
+    return (lo + hi) / 2.0;
+  }
+  std::unique_ptr<Estimator> clone_fresh() const override {
+    return std::make_unique<WindowMedianEstimator>(window());
+  }
+  EstimatorKind kind() const override { return EstimatorKind::kWindowMedian; }
+};
+
+// --------------------------------------------------------- P² (quantile) --
+
+/// Jain & Chlamtac's P² algorithm: a streaming q-quantile from five markers
+/// (min, q/2, q, (1+q)/2, max quantile estimates) in O(1) memory and O(1)
+/// per observation. Until five samples exist the exact (sorted) quantile is
+/// returned. Marker heights stay ordered, so the estimate can never leave
+/// the observed [min, max] hull.
+class P2QuantileEstimator final : public Estimator {
+ public:
+  explicit P2QuantileEstimator(double q) : q_(q) {
+    if (!(q > 0.0 && q < 1.0))
+      throw std::invalid_argument("P2QuantileEstimator: q must be in (0,1)");
+  }
+
+  void init(double v) override {
+    // One uncounted pseudo-sample, same bootstrap path as a real one.
+    ingest(v);
+  }
+
+  void observe(double actual) override {
+    ingest(actual);
+    ++observations_;
+  }
+
+  bool has_value() const override { return count_ > 0; }
+
+  double value() const override {
+    if (count_ == 0) return 0.0;  // out-of-contract call: degrade like Ewma
+    if (count_ >= 5) return h_[2];
+    // Exact phase: linearly interpolated quantile of the sorted prefix.
+    std::vector<double> s(initial_.begin(), initial_.begin() + count_);
+    std::sort(s.begin(), s.end());
+    if (s.size() == 1) return s[0];
+    const double pos = q_ * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    return s[lo] + (pos - static_cast<double>(lo)) * (s[hi] - s[lo]);
+  }
+
+  long observations() const override { return observations_; }
+  std::unique_ptr<Estimator> clone_fresh() const override {
+    return std::make_unique<P2QuantileEstimator>(q_);
+  }
+  EstimatorKind kind() const override { return EstimatorKind::kP2Quantile; }
+
+ private:
+  void ingest(double x) {
+    if (count_ < 5) {
+      initial_[static_cast<std::size_t>(count_++)] = x;
+      if (count_ == 5) {
+        std::sort(initial_.begin(), initial_.end());
+        for (int k = 0; k < 5; ++k) {
+          h_[k] = initial_[static_cast<std::size_t>(k)];
+          n_[k] = k + 1;
+        }
+        np_[0] = 1.0;
+        np_[1] = 1.0 + 2.0 * q_;
+        np_[2] = 1.0 + 4.0 * q_;
+        np_[3] = 3.0 + 2.0 * q_;
+        np_[4] = 5.0;
+        dn_[0] = 0.0;
+        dn_[1] = q_ / 2.0;
+        dn_[2] = q_;
+        dn_[3] = (1.0 + q_) / 2.0;
+        dn_[4] = 1.0;
+      }
+      return;
+    }
+    // Find the cell the new sample falls into, stretching the extremes.
+    int cell;
+    if (x < h_[0]) {
+      h_[0] = x;
+      cell = 0;
+    } else if (x >= h_[4]) {
+      h_[4] = x;
+      cell = 3;
+    } else {
+      cell = 0;
+      while (cell < 3 && x >= h_[cell + 1]) ++cell;
+    }
+    for (int k = cell + 1; k < 5; ++k) ++n_[k];
+    for (int k = 0; k < 5; ++k) np_[k] += dn_[k];
+    // Nudge the three interior markers toward their desired positions.
+    for (int k = 1; k <= 3; ++k) {
+      const double d = np_[k] - static_cast<double>(n_[k]);
+      if ((d >= 1.0 && n_[k + 1] - n_[k] > 1) ||
+          (d <= -1.0 && n_[k - 1] - n_[k] < -1)) {
+        const int sign = d >= 0.0 ? 1 : -1;
+        const double cand = parabolic(k, sign);
+        if (h_[k - 1] < cand && cand < h_[k + 1]) {
+          h_[k] = cand;
+        } else {
+          h_[k] = linear(k, sign);
+        }
+        n_[k] += sign;
+      }
+    }
+  }
+
+  double parabolic(int k, int sign) const {
+    const double d = static_cast<double>(sign);
+    const double nk = static_cast<double>(n_[k]);
+    const double nl = static_cast<double>(n_[k - 1]);
+    const double nr = static_cast<double>(n_[k + 1]);
+    return h_[k] + d / (nr - nl) *
+                       ((nk - nl + d) * (h_[k + 1] - h_[k]) / (nr - nk) +
+                        (nr - nk - d) * (h_[k] - h_[k - 1]) / (nk - nl));
+  }
+
+  double linear(int k, int sign) const {
+    return h_[k] + static_cast<double>(sign) * (h_[k + sign] - h_[k]) /
+                       static_cast<double>(n_[k + sign] - n_[k]);
+  }
+
+  double q_;
+  std::array<double, 5> initial_{};  // bootstrap samples until count_ == 5
+  double h_[5] = {};                 // marker heights
+  int n_[5] = {};                    // actual marker positions (1-based)
+  double np_[5] = {};                // desired marker positions
+  double dn_[5] = {};                // desired-position increments
+  int count_ = 0;
+  long observations_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Estimator> make_estimator(const EstimatorConfig& cfg) {
+  switch (cfg.kind) {
+    case EstimatorKind::kEwma:
+      return std::make_unique<EwmaEstimator>(cfg.rho);
+    case EstimatorKind::kWindowMean:
+      return std::make_unique<WindowMeanEstimator>(cfg.window);
+    case EstimatorKind::kWindowMedian:
+      return std::make_unique<WindowMedianEstimator>(cfg.window);
+    case EstimatorKind::kP2Quantile:
+      return std::make_unique<P2QuantileEstimator>(cfg.quantile);
+  }
+  throw std::invalid_argument("make_estimator: unknown kind");
+}
+
+const char* to_string(EstimatorKind k) {
+  switch (k) {
+    case EstimatorKind::kEwma:
+      return "ewma";
+    case EstimatorKind::kWindowMean:
+      return "window_mean";
+    case EstimatorKind::kWindowMedian:
+      return "window_median";
+    case EstimatorKind::kP2Quantile:
+      return "p2";
+  }
+  return "unknown";
+}
+
+std::optional<EstimatorKind> estimator_kind_from_string(std::string_view s) {
+  if (s == "ewma") return EstimatorKind::kEwma;
+  if (s == "window_mean") return EstimatorKind::kWindowMean;
+  if (s == "window_median") return EstimatorKind::kWindowMedian;
+  if (s == "p2") return EstimatorKind::kP2Quantile;
+  return std::nullopt;
+}
+
+}  // namespace askel

@@ -1,0 +1,86 @@
+#pragma once
+// Pluggable WCT estimator family (paper §6 future work: "analyses of
+// different WCT estimation algorithms").
+//
+// The paper's controller rests on one history-based estimator — the EWMA of
+// est/ewma.hpp. This interface makes the estimator a per-registry policy so
+// the fig5/6/7 scenarios can be A/B'd across estimation algorithms:
+//
+//  * kEwma          — the paper's newEst = ρ·actual + (1−ρ)·prevEst
+//                     (default; delegates to the legacy `Ewma`, so behavior
+//                     is bit-identical when selected);
+//  * kWindowMean    — mean of the last W observations: bounded memory of
+//                     regime changes, no permanent imprint of startup values;
+//  * kWindowMedian  — median of the last W observations: one outlier moves
+//                     the estimate by at most one rank, where the EWMA jumps
+//                     by ρ·spike;
+//  * kP2Quantile    — constant-memory streaming q-quantile (Jain & Chlamtac's
+//                     P² algorithm, cf. PAPERS.md): a conservative
+//                     over-provisioning estimate (default q = 0.9) that
+//                     resists the outlier-chasing a plain EWMA exhibits on
+//                     bursty muscle timings.
+//
+// Contract shared by all implementations (matches the legacy Ewma so the
+// registry/controller layers are estimator-agnostic):
+//  * init(v) seeds the estimate without counting an observation (paper
+//    scenario 2, "Goal with initialization"). Window and quantile
+//    estimators ingest the seed as one uncounted pseudo-sample: a window
+//    evicts it after W real observations; P² folds it into its 5-sample
+//    bootstrap, where it keeps a (diminishing) influence on the markers —
+//    the same "seed never fully forgotten" semantics as the EWMA's
+//    seeded prevEst;
+//  * observe(x) folds in one actual measurement;
+//  * value() is only meaningful once has_value();
+//  * observations() counts real observations (init excluded).
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace askel {
+
+enum class EstimatorKind : int {
+  kEwma = 0,
+  kWindowMean = 1,
+  kWindowMedian = 2,
+  kP2Quantile = 3,
+};
+
+/// Value-type estimator choice + parameters: the "factory" threaded through
+/// MuscleStats -> EstimateRegistry -> ScenarioConfig. Each field applies to
+/// the kinds noted; the others ignore it.
+struct EstimatorConfig {
+  EstimatorKind kind = EstimatorKind::kEwma;
+  double rho = 0.5;       // kEwma: smoothing in [0,1]
+  int window = 16;        // kWindowMean / kWindowMedian: W >= 1
+  double quantile = 0.9;  // kP2Quantile: q in (0,1)
+};
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Seed the estimate without consuming an observation.
+  virtual void init(double v) = 0;
+  /// Fold in one actual measurement.
+  virtual void observe(double actual) = 0;
+  virtual bool has_value() const = 0;
+  virtual double value() const = 0;
+  /// Real observations folded in (initialization not counted).
+  virtual long observations() const = 0;
+  /// Fresh estimator of the same kind and parameters, no state (the
+  /// per-muscle factory the registry clones from).
+  virtual std::unique_ptr<Estimator> clone_fresh() const = 0;
+  virtual EstimatorKind kind() const = 0;
+};
+
+/// Build a fresh estimator from `cfg`. Throws std::invalid_argument on
+/// out-of-range parameters (rho outside [0,1], window < 1, q outside (0,1)).
+std::unique_ptr<Estimator> make_estimator(const EstimatorConfig& cfg);
+
+/// Stable lowercase name ("ewma", "window_mean", "window_median", "p2").
+const char* to_string(EstimatorKind k);
+/// Inverse of to_string (bench/test CLI); nullopt on unknown names.
+std::optional<EstimatorKind> estimator_kind_from_string(std::string_view s);
+
+}  // namespace askel

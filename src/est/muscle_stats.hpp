@@ -3,35 +3,53 @@
 // Condition muscles (paper §4: the cardinality of a Split is the size of the
 // sub-problem set it returns; the cardinality of a Condition is the number of
 // `true` results over a While run, or the recursion depth for d&C).
+//
+// Both statistics run through the pluggable Estimator interface; the default
+// (and the legacy double-rho constructor) is the paper's EWMA, bit-identical
+// to the pre-interface code path.
 
+#include <memory>
 #include <optional>
 
-#include "est/ewma.hpp"
+#include "est/estimator.hpp"
 
 namespace askel {
 
 class MuscleStats {
  public:
-  explicit MuscleStats(double rho = 0.5) : t_(rho), card_(rho) {}
+  /// Legacy constructor: the paper's EWMA at `rho` for both statistics.
+  explicit MuscleStats(double rho = 0.5)
+      : MuscleStats(EstimatorConfig{.kind = EstimatorKind::kEwma, .rho = rho}) {}
 
-  void observe_duration(double seconds) { t_.observe(seconds); }
-  void observe_cardinality(double card) { card_.observe(card); }
-  void init_duration(double seconds) { t_.init(seconds); }
-  void init_cardinality(double card) { card_.init(card); }
+  /// Estimator-family constructor: one fresh estimator per statistic, built
+  /// from the registry's per-scope config.
+  explicit MuscleStats(const EstimatorConfig& cfg)
+      : t_(make_estimator(cfg)), card_(make_estimator(cfg)) {}
+
+  MuscleStats(MuscleStats&&) = default;
+  MuscleStats& operator=(MuscleStats&&) = default;
+
+  void observe_duration(double seconds) { t_->observe(seconds); }
+  void observe_cardinality(double card) { card_->observe(card); }
+  void init_duration(double seconds) { t_->init(seconds); }
+  void init_cardinality(double card) { card_->init(card); }
 
   std::optional<double> t() const {
-    return t_.has_value() ? std::optional<double>(t_.value()) : std::nullopt;
+    return t_->has_value() ? std::optional<double>(t_->value()) : std::nullopt;
   }
   std::optional<double> cardinality() const {
-    return card_.has_value() ? std::optional<double>(card_.value()) : std::nullopt;
+    return card_->has_value() ? std::optional<double>(card_->value())
+                              : std::nullopt;
   }
 
-  long duration_observations() const { return t_.observations(); }
-  long cardinality_observations() const { return card_.observations(); }
+  long duration_observations() const { return t_->observations(); }
+  long cardinality_observations() const { return card_->observations(); }
+
+  EstimatorKind estimator_kind() const { return t_->kind(); }
 
  private:
-  Ewma t_;
-  Ewma card_;
+  std::unique_ptr<Estimator> t_;
+  std::unique_ptr<Estimator> card_;
 };
 
 }  // namespace askel

@@ -1,0 +1,88 @@
+#include "est/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace askel {
+
+std::vector<double> bursty_stream(std::uint64_t seed, int n) {
+  // mt19937_64 with fixed distributions: the C++ standard pins the engine's
+  // output sequence, and uniform_real_distribution on a fixed libstdc++/
+  // libc++ is stable in practice; the tests additionally only compare runs
+  // within one binary, so the determinism the harness needs is structural.
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> base_pick(0.5, 2.0);
+  std::uniform_real_distribution<double> jitter(0.85, 1.15);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> spike(4.0, 9.0);
+  std::uniform_int_distribution<int> regime_len(25, 55);
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  double base = base_pick(rng);
+  int left = regime_len(rng);
+  for (int k = 0; k < n; ++k) {
+    if (left-- <= 0) {
+      base = base_pick(rng);
+      left = regime_len(rng);
+    }
+    double v = base * jitter(rng);
+    if (unit(rng) < 0.05) v = base * spike(rng);  // the outlier tail
+    out.push_back(v);
+  }
+  return out;
+}
+
+StreamQuality replay_stream(const EstimatorConfig& cfg,
+                            const std::vector<double>& stream) {
+  StreamQuality q;
+  q.config = cfg;
+  const std::unique_ptr<Estimator> est = make_estimator(cfg);
+  double sq_sum = 0.0, abs_sum = 0.0, signed_sum = 0.0;
+  for (const double actual : stream) {
+    if (est->has_value()) {
+      const double err = est->value() - actual;
+      sq_sum += err * err;
+      abs_sum += std::abs(err);
+      signed_sum += err;
+      q.max_abs_error = std::max(q.max_abs_error, std::abs(err));
+      ++q.predictions;
+    }
+    est->observe(actual);
+  }
+  if (q.predictions > 0) {
+    const double n = static_cast<double>(q.predictions);
+    q.rms_error = std::sqrt(sq_sum / n);
+    q.mean_abs_error = abs_sum / n;
+    q.bias = signed_sum / n;
+  }
+  return q;
+}
+
+std::vector<StreamQuality> rank_estimators(
+    const std::vector<EstimatorConfig>& configs,
+    const std::vector<double>& stream) {
+  std::vector<StreamQuality> out;
+  out.reserve(configs.size());
+  for (const EstimatorConfig& cfg : configs) {
+    out.push_back(replay_stream(cfg, stream));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StreamQuality& a, const StreamQuality& b) {
+                     return a.rms_error < b.rms_error;
+                   });
+  return out;
+}
+
+std::vector<EstimatorConfig> default_estimator_family(double rho, int window,
+                                                      double quantile) {
+  return {
+      EstimatorConfig{.kind = EstimatorKind::kEwma, .rho = rho},
+      EstimatorConfig{.kind = EstimatorKind::kWindowMean, .window = window},
+      EstimatorConfig{.kind = EstimatorKind::kWindowMedian, .window = window},
+      EstimatorConfig{.kind = EstimatorKind::kP2Quantile, .quantile = quantile},
+  };
+}
+
+}  // namespace askel

@@ -1,0 +1,63 @@
+#pragma once
+// Deterministic adaptation-quality harness for the estimator family.
+//
+// Two complementary measurements feed the PR 4 A/B comparison
+// (bench/wct_algorithms --estimators and tests/estimator_ab_test):
+//
+//  * stream replay (this header): a seeded, fully deterministic duration
+//    stream — regime shifts plus occasional outlier spikes, the shape of
+//    bursty muscle timings that stresses the fig7 (goal at 105%) scenario —
+//    is fed through a fresh estimator, measuring one-step-ahead prediction
+//    error (the estimate the controller would have planned with vs. the
+//    actual that then occurred). Identical seeds give identical errors and
+//    therefore an identical ranking: the regression test anchors on that.
+//
+//  * end-to-end scenario replay (bench only): the fig5/6/7 wordcount
+//    scenarios run under each estimator, reporting goal-miss width and
+//    decision churn. Wall-clock based, so it lives in the bench binary, not
+//    here.
+
+#include <cstdint>
+#include <vector>
+
+#include "est/estimator.hpp"
+
+namespace askel {
+
+/// One estimator's prediction quality over a replayed stream.
+struct StreamQuality {
+  EstimatorConfig config;
+  long predictions = 0;     // observations that had a prior estimate
+  double rms_error = 0.0;   // sqrt(mean (estimate - actual)^2)
+  double mean_abs_error = 0.0;
+  double max_abs_error = 0.0;
+  /// Mean signed error (estimate - actual): positive = over-provisioning
+  /// bias (conservative), negative = under-provisioning bias.
+  double bias = 0.0;
+};
+
+/// Deterministic bursty duration stream: piecewise-constant base levels
+/// (regime shifts every ~40 samples), multiplicative jitter, and a ~5% rate
+/// of outlier spikes at several times the base. Same seed, same stream.
+std::vector<double> bursty_stream(std::uint64_t seed, int n);
+
+/// Replay `stream` through a fresh estimator built from `cfg`, measuring
+/// one-step-ahead prediction error. The first sample only primes the
+/// estimator (no prior estimate to score).
+StreamQuality replay_stream(const EstimatorConfig& cfg,
+                            const std::vector<double>& stream);
+
+/// Replay the stream under every config and return the qualities sorted by
+/// rms_error ascending (ties broken by config order — stable, so the
+/// ranking is deterministic for a fixed seed).
+std::vector<StreamQuality> rank_estimators(
+    const std::vector<EstimatorConfig>& configs,
+    const std::vector<double>& stream);
+
+/// The four-member PR 4 comparison family: EWMA(rho), window mean(W),
+/// window median(W), P²(q).
+std::vector<EstimatorConfig> default_estimator_family(double rho = 0.5,
+                                                      int window = 16,
+                                                      double quantile = 0.9);
+
+}  // namespace askel

@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "est/estimator.hpp"
 #include "est/muscle_stats.hpp"
 
 namespace askel {
@@ -108,8 +109,16 @@ class Estimates {
 
 class EstimateRegistry {
  public:
-  /// `rho` is the smoothing parameter applied to every muscle's EWMAs.
+  /// Legacy constructor: the paper's EWMA at `rho` for every muscle.
   explicit EstimateRegistry(double rho = 0.5,
+                            EstimationScope scope = EstimationScope::kAggregate);
+
+  /// Estimator-family constructor (per-scope factory): every muscle entry in
+  /// this registry — both layers, duration and cardinality — is estimated by
+  /// a fresh clone of the configured estimator. The versioned/COW snapshot
+  /// semantics are estimator-agnostic: snapshots carry values, not
+  /// estimator state.
+  explicit EstimateRegistry(const EstimatorConfig& estimator,
                             EstimationScope scope = EstimationScope::kAggregate);
 
   /// Record an observation at a known nesting depth (both layers updated).
@@ -142,7 +151,11 @@ class EstimateRegistry {
   std::uint64_t version() const {
     return version_.load(std::memory_order_acquire);
   }
-  double rho() const { return rho_; }
+  /// Smoothing of the configured estimator (meaningful for kEwma; kept for
+  /// the pre-estimator-family API).
+  double rho() const { return est_cfg_.rho; }
+  /// The per-muscle estimator factory this registry clones from.
+  const EstimatorConfig& estimator_config() const { return est_cfg_; }
   EstimationScope scope() const { return scope_; }
   void clear();
 
@@ -163,7 +176,7 @@ class EstimateRegistry {
   static std::optional<double> card_locked(const Shard& s, std::int64_t key);
   void bump_version();
 
-  double rho_;
+  EstimatorConfig est_cfg_;
   EstimationScope scope_;
   mutable std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> version_{0};

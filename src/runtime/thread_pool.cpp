@@ -53,23 +53,39 @@ void ResizableThreadPool::submit(Task task, int tenant) {
   assert(!stopping_.load(std::memory_order_relaxed) && "submit after shutdown");
   // Tagged submits only: the untagged hot path pays one predictable branch.
   if (tenant > 0) {
-    TenantState& ts = get_tenant_state(tenant);
-    ts.submitted.fetch_add(1, std::memory_order_relaxed);
     if (tenant_dispatch_.load(std::memory_order_relaxed) ==
         static_cast<int>(TenantDispatch::kWeighted)) {
       inflight_.fetch_add(1, std::memory_order_acq_rel);
-      // Gauges are bumped before the push (scanners may transiently see a
-      // count without a task — they re-check under ts.mu — but never a task
-      // without a count, so the queued_ sleep/wake protocol stays exact).
-      ts.queued.fetch_add(1, std::memory_order_relaxed);
       tenant_tasks_.fetch_add(1, std::memory_order_relaxed);
       queued_.fetch_add(1, std::memory_order_seq_cst);
-      {
+      for (;;) {
+        TenantState& ts = get_tenant_state(tenant);
         std::lock_guard lock(ts.mu);
+        // Ownership recheck under ts.mu (where every retirement happens): a
+        // retire_tenant racing between the lookup and this lock must not
+        // receive the task into an orphaned state the dispatch scan would
+        // never serve — re-resolve instead (recreates or reclaims a state).
+        if (ts.id.load(std::memory_order_relaxed) != tenant) continue;
+        ts.submitted.fetch_add(1, std::memory_order_relaxed);
+        // The queued gauge is bumped before the push (both under ts.mu):
+        // scanners may transiently see a count without a task — they
+        // re-check under ts.mu — but never a task without a count, so the
+        // queued_ sleep/wake protocol stays exact.
+        ts.queued.fetch_add(1, std::memory_order_relaxed);
         ts.tasks.push_back(std::move(task));
+        break;
       }
       maybe_wake_one();
       return;
+    }
+    // kFifo: accounting only, but still under the ownership check — a
+    // retire racing this bump must not land the count on a reused state.
+    for (;;) {
+      TenantState& ts = get_tenant_state(tenant);
+      std::lock_guard lock(ts.mu);
+      if (ts.id.load(std::memory_order_relaxed) != tenant) continue;
+      ts.submitted.fetch_add(1, std::memory_order_relaxed);
+      break;
     }
   }
   inflight_.fetch_add(1, std::memory_order_acq_rel);
@@ -104,12 +120,23 @@ ResizableThreadPool::TenantState& ResizableThreadPool::get_tenant_state(
     int tenant) {
   const int slot_index = (tenant - 1) % kTenantSlots;
   TenantState& slot = tenant_slots_[static_cast<std::size_t>(slot_index)];
-  int cur = slot.id.load(std::memory_order_acquire);
-  if (cur == tenant) return slot;
-  if (cur == 0 &&
-      slot.id.compare_exchange_strong(cur, tenant, std::memory_order_acq_rel)) {
-    // Publish the claim to the dispatch scan (monotonic max; claims are
-    // permanent, so the high-water mark never over- or under-counts).
+  if (slot.id.load(std::memory_order_acquire) == tenant) return slot;
+  // Miss path (first touch of this id, or an id living in the side map),
+  // serialized under overflow_mu_. An existing side-map entry must win over
+  // claiming a freed slot: a tenant that overflowed while a collider held
+  // the slot would otherwise fork its state — grant and counts split across
+  // two TenantStates — the moment the collider retires and frees the slot.
+  // Invariant: a tenant has a slot OR a side-map entry, never both.
+  std::lock_guard lock(overflow_mu_);
+  if (overflow_states_.load(std::memory_order_acquire) > 0) {
+    const auto it = overflow_.find(tenant);
+    if (it != overflow_.end()) return *it->second;
+  }
+  int cur = 0;
+  if (slot.id.compare_exchange_strong(cur, tenant, std::memory_order_acq_rel)) {
+    // Publish the claim to the dispatch scan (monotonic max; retire_tenant
+    // may later clear the slot, so after churn the mark can over-count —
+    // the scan skips id == 0 slots — but it never under-counts).
     int hwm = tenant_slot_hwm_.load(std::memory_order_relaxed);
     while (hwm < slot_index + 1 &&
            !tenant_slot_hwm_.compare_exchange_weak(hwm, slot_index + 1,
@@ -119,16 +146,75 @@ ResizableThreadPool::TenantState& ResizableThreadPool::get_tenant_state(
   }
   if (cur == tenant) return slot;  // lost the CAS to a same-tenant claim
   // Slot collision (or > kTenantSlots live ids): exact side map, so two live
-  // tenants never merge counts or dispatch weights. The map is permanent per
-  // id — the coordinator recycles ids, which keeps it O(peak live tenants).
-  std::lock_guard lock(overflow_mu_);
+  // tenants never merge counts or dispatch weights. retire_tenant moves dead
+  // entries to the reuse pool, keeping the map O(peak live overflow ids)
+  // rather than O(distinct ids ever).
   std::unique_ptr<TenantState>& state = overflow_[tenant];
   if (state == nullptr) {
-    state = std::make_unique<TenantState>();
-    state->id.store(tenant, std::memory_order_relaxed);
+    if (!retired_states_.empty()) {
+      state = std::move(retired_states_.back());
+      retired_states_.pop_back();
+      state->id.store(tenant, std::memory_order_relaxed);
+    } else {
+      state = std::make_unique<TenantState>();
+      state->id.store(tenant, std::memory_order_relaxed);
+    }
     overflow_states_.fetch_add(1, std::memory_order_release);
   }
   return *state;
+}
+
+bool ResizableThreadPool::retire_tenant(int tenant) {
+  if (tenant <= 0) return false;
+  TenantState& slot =
+      tenant_slots_[static_cast<std::size_t>((tenant - 1) % kTenantSlots)];
+  if (slot.id.load(std::memory_order_acquire) == tenant) {
+    std::lock_guard qlock(slot.mu);
+    // Recheck under the lock: every id-clearing transition holds slot.mu,
+    // so a concurrent retire of the same id (or a retire + fresh claim by a
+    // new id) can no longer slip between our check and our reset and have
+    // us wipe a live tenant's state.
+    if (slot.id.load(std::memory_order_relaxed) != tenant) return false;
+    // queued != 0 with an empty deque means a claimed task's gauge decrement
+    // is still in flight — running covers that window too, but check both.
+    if (!slot.tasks.empty() || slot.queued.load(std::memory_order_relaxed) != 0 ||
+        slot.running.load(std::memory_order_acquire) != 0) {
+      return false;  // still draining; the state must stay addressable
+    }
+    slot.grant.store(0, std::memory_order_relaxed);
+    slot.submitted.store(0, std::memory_order_relaxed);
+    // Publish last: a find_tenant_state racing with this sees either the
+    // full old state or an unclaimed slot, never a half-reset claim.
+    slot.id.store(0, std::memory_order_release);
+    return true;
+  }
+  if (overflow_states_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard lock(overflow_mu_);
+  const auto it = overflow_.find(tenant);
+  if (it == overflow_.end()) return false;
+  TenantState& ts = *it->second;
+  {
+    std::lock_guard qlock(ts.mu);
+    if (!ts.tasks.empty() || ts.queued.load(std::memory_order_relaxed) != 0 ||
+        ts.running.load(std::memory_order_acquire) != 0) {
+      return false;
+    }
+    ts.grant.store(0, std::memory_order_relaxed);
+    ts.submitted.store(0, std::memory_order_relaxed);
+    ts.id.store(0, std::memory_order_relaxed);
+  }
+  // Into the reuse pool, not freed: a worker that grabbed the pointer from a
+  // concurrent dispatch scan may still lock ts.mu, find the queue empty and
+  // move on — valid memory either way.
+  retired_states_.push_back(std::move(it->second));
+  overflow_.erase(it);
+  overflow_states_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+std::size_t ResizableThreadPool::tenant_overflow_size() const {
+  std::lock_guard lock(overflow_mu_);
+  return overflow_.size();
 }
 
 void ResizableThreadPool::set_tenant_grant(int tenant, int grant) {
@@ -249,11 +335,15 @@ bool ResizableThreadPool::try_get_task(int index, Task& out,
       if (ts->tasks.empty()) continue;
       out = std::move(ts->tasks.back());  // newest first: depth-first per tenant
       ts->tasks.pop_back();
+      // `running` goes up under ts->mu, before the pop is visible as an
+      // empty queue: retire_tenant (which checks emptiness and running
+      // under the same lock) can therefore never observe a moment where a
+      // claimed task is in neither gauge.
+      ts->running.fetch_add(1, std::memory_order_relaxed);
       qlock.unlock();
       ts->queued.fetch_sub(1, std::memory_order_relaxed);
       tenant_tasks_.fetch_sub(1, std::memory_order_relaxed);
       queued_.fetch_sub(1, std::memory_order_acq_rel);
-      ts->running.fetch_add(1, std::memory_order_relaxed);
       from_tenant = ts;
       return true;
     }
@@ -340,7 +430,10 @@ void ResizableThreadPool::worker_loop(int index) {
         }
         task();
         if (from_tenant != nullptr) {
-          from_tenant->running.fetch_sub(1, std::memory_order_relaxed);
+          // Release: this is the worker's last touch of the tenant state; a
+          // retire_tenant that acquires running == 0 afterwards may hand the
+          // state to a new id knowing no late write can land.
+          from_tenant->running.fetch_sub(1, std::memory_order_release);
         }
         ++completed;
         continue;

@@ -122,6 +122,25 @@ class ResizableThreadPool {
   void set_tenant_dispatch(TenantDispatch mode);
   TenantDispatch tenant_dispatch() const;
 
+  /// Retire a long-dead tenant id: drop its accounting/dispatch state so the
+  /// exact side map stays O(peak live tenants) instead of O(distinct ids
+  /// ever). Succeeds only when the tenant's per-tenant gauges show no queued
+  /// task and no task running (returns false otherwise — call again once the
+  /// tenant drained). Under kFifo dispatch tagged tasks bypass the tenant
+  /// queues and are NOT tracked by those gauges, so there the caller must
+  /// itself ensure the tenant's work completed (the coordinator unregisters
+  /// only after a run's future resolved, which satisfies this).
+  /// The caller guarantees the id is dead: no further submits, grants or
+  /// stat queries under it (the LP-budget coordinator calls this from
+  /// unregister_tenant, whose contract already forbids touching the id
+  /// afterwards). A retired direct slot becomes claimable by the next id
+  /// hashing to it; a retired side-map state moves to an internal free pool
+  /// for reuse — never deallocated mid-run, so a worker still holding a
+  /// stale pointer from a racing dispatch scan stays safe.
+  bool retire_tenant(int tenant);
+  /// Live entries in the exact accounting side map (monitoring/tests).
+  std::size_t tenant_overflow_size() const;
+
   /// Change the level of parallelism. Clamped to [1, min(max_lp, lp_limit)].
   /// Growing spawns or unparks workers; shrinking parks surplus workers at
   /// their next task boundary. Returns the clamped value actually applied
@@ -241,10 +260,16 @@ class ResizableThreadPool {
   mutable std::array<TenantState, kTenantSlots> tenant_slots_{};
   mutable std::mutex overflow_mu_;
   mutable std::unordered_map<int, std::unique_ptr<TenantState>> overflow_;
+  // States of retired side-map tenants, kept for reuse by later overflow
+  // ids (bounds the map at O(peak live overflow tenants) while keeping
+  // stale TenantState pointers — a worker between dispatch scan and queue
+  // lock — valid for the pool's whole lifetime).
+  std::vector<std::unique_ptr<TenantState>> retired_states_;
   std::atomic<int> overflow_states_{0};
-  // Highest claimed slot index + 1 (slots are claimed once and never
-  // released, so a monotonic max is exact): the dispatch pick scans only
-  // [0, hwm) instead of all 64 cache-line-aligned slots.
+  // Highest claimed slot index + 1 (a monotonic max: retiring a slot clears
+  // its id but never lowers the mark, so the dispatch scan may visit a few
+  // empty slots after churn but never misses a claimed one): the pick scans
+  // only [0, hwm) instead of all 64 cache-line-aligned slots.
   std::atomic<int> tenant_slot_hwm_{0};
   std::atomic<int> tenant_tasks_{0};
   std::atomic<int> tenant_dispatch_{static_cast<int>(TenantDispatch::kWeighted)};

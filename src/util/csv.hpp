@@ -29,4 +29,7 @@ class Table {
 /// Format a double with `prec` digits after the decimal point.
 std::string fmt(double v, int prec = 2);
 
+/// JSON boolean literal (shared by the bench binaries that emit JSON).
+inline const char* json_bool(bool b) { return b ? "true" : "false"; }
+
 }  // namespace askel

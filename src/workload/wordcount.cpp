@@ -149,7 +149,7 @@ ScenarioResult run_wordcount_scenario(const ScenarioConfig& cfg,
   if (shared == nullptr) own_pool.emplace(cfg.initial_lp, cfg.max_lp);
   ResizableThreadPool& pool = shared != nullptr ? *shared : *own_pool;
   EventBus bus;
-  EstimateRegistry reg(cfg.rho, cfg.scope);
+  EstimateRegistry reg(cfg.estimator_config(), cfg.scope);
   TrackerSet trackers(reg);
   bus.add_listener(trackers.as_listener());
   ControllerConfig ccfg;

@@ -247,6 +247,93 @@ TEST(RegistryVersion, MutatingASnapshotCopyDetachesIt) {
   EXPECT_DOUBLE_EQ(*reg.snapshot().t(7), 3.0);  // registry cache untouched
 }
 
+// --------------------------------------------------- estimator family --
+
+TEST(RegistryEstimator, DefaultConfigIsThePaperEwma) {
+  EstimateRegistry reg(0.25);
+  EXPECT_EQ(reg.estimator_config().kind, EstimatorKind::kEwma);
+  EXPECT_DOUBLE_EQ(reg.estimator_config().rho, 0.25);
+  EXPECT_DOUBLE_EQ(reg.rho(), 0.25);
+}
+
+TEST(RegistryEstimator, WindowMedianRegistryIgnoresASpike) {
+  EstimateRegistry reg(
+      EstimatorConfig{.kind = EstimatorKind::kWindowMedian, .window = 5});
+  for (const double v : {1.0, 1.1, 0.9, 50.0, 1.0}) reg.observe_duration(3, v);
+  EXPECT_DOUBLE_EQ(*reg.t(3), 1.0);  // median shrugs the 50.0 outlier off
+  // The paper's EWMA on the same stream chases the spike.
+  EstimateRegistry ewma(0.5);
+  for (const double v : {1.0, 1.1, 0.9, 50.0, 1.0}) ewma.observe_duration(3, v);
+  EXPECT_GT(*ewma.t(3), 5.0);
+}
+
+TEST(RegistryEstimator, WindowMeanForgetsBeyondTheWindow) {
+  EstimateRegistry reg(
+      EstimatorConfig{.kind = EstimatorKind::kWindowMean, .window = 2});
+  reg.observe_duration(1, 100.0);
+  reg.observe_duration(1, 2.0);
+  reg.observe_duration(1, 4.0);  // the 100.0 has left the window
+  EXPECT_DOUBLE_EQ(*reg.t(1), 3.0);
+}
+
+TEST(RegistryEstimator, P2QuantileRegistryTracksTheUpperTail) {
+  EstimateRegistry reg(
+      EstimatorConfig{.kind = EstimatorKind::kP2Quantile, .quantile = 0.9});
+  for (int k = 1; k <= 100; ++k) reg.observe_duration(9, static_cast<double>(k));
+  // The streaming 0.9-quantile of 1..100 lands near 90 — far above the mean.
+  EXPECT_GT(*reg.t(9), 75.0);
+  EXPECT_LE(*reg.t(9), 100.0);
+}
+
+TEST(RegistryEstimator, ConfigAppliesToBothLayersAndCardinality) {
+  EstimateRegistry reg(
+      EstimatorConfig{.kind = EstimatorKind::kWindowMedian, .window = 3},
+      EstimationScope::kPerDepth);
+  for (const double v : {5.0, 5.0, 40.0}) reg.observe_cardinality(2, 1, v);
+  EXPECT_DOUBLE_EQ(*reg.cardinality(2, 1), 5.0);  // per-depth layer
+  EXPECT_DOUBLE_EQ(*reg.cardinality(2), 5.0);     // aggregate layer
+}
+
+TEST(RegistryEstimator, VersionedSnapshotSemanticsAreEstimatorAgnostic) {
+  // The PR 1 contract — clean snapshots are cached and COW-shared, writes
+  // invalidate — must hold for every family member, not just the EWMA.
+  EstimateRegistry reg(
+      EstimatorConfig{.kind = EstimatorKind::kP2Quantile, .quantile = 0.5});
+  for (int m = 0; m < 10; ++m) reg.observe_duration(m, 1.0 + m);
+  const Estimates a = reg.snapshot();
+  const Estimates b = reg.snapshot();
+  EXPECT_EQ(&a.entries(), &b.entries());  // clean: cached, shared storage
+  const std::uint64_t v = reg.version();
+  reg.observe_duration(0, 2.0);
+  EXPECT_GT(reg.version(), v);
+  const Estimates c = reg.snapshot();
+  EXPECT_NE(&a.entries(), &c.entries());  // write invalidated the cache
+  EXPECT_DOUBLE_EQ(*a.t(0), 1.0);         // old snapshot immune to the write
+}
+
+TEST(RegistryEstimator, InitFromTransfersAcrossDifferentEstimators) {
+  // Scenario 2 seeding carries VALUES, not estimator state: a registry of
+  // one kind can initialize a registry of another.
+  EstimateRegistry first(0.5);
+  first.observe_duration(1, 6.4);
+  EstimateRegistry second(
+      EstimatorConfig{.kind = EstimatorKind::kWindowMean, .window = 4});
+  second.init_from(first.snapshot());
+  EXPECT_DOUBLE_EQ(*second.t(1), 6.4);
+  second.observe_duration(1, 2.4);  // seed + one observation, mean of both
+  EXPECT_DOUBLE_EQ(*second.t(1), 4.4);
+}
+
+TEST(RegistryEstimator, BadConfigThrowsAtConstruction) {
+  EXPECT_THROW(EstimateRegistry(EstimatorConfig{.kind = EstimatorKind::kEwma,
+                                                .rho = -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      EstimateRegistry(EstimatorConfig{.kind = EstimatorKind::kWindowMean,
+                                       .window = 0}),
+      std::invalid_argument);
+}
+
 TEST(RegistryPerDepth, KeyRoundTrips) {
   for (const int id : {0, 1, 17, 100000}) {
     for (const int depth : {kAnyDepth, 0, 1, 63}) {

@@ -391,6 +391,79 @@ TEST(ThreadPool, FifoDispatchModeBypassesTenantQueues) {
   EXPECT_EQ(done.load(), 2);
 }
 
+TEST(ThreadPool, RetireTenantBoundsTheOverflowSideMap) {
+  // The ROADMAP-flagged leak: before retirement, every distinct id that ever
+  // collided on an accounting slot stayed in the exact side map forever.
+  // Churn register/unregister-style usage and assert the map stays bounded.
+  ResizableThreadPool pool(2, 2);
+  std::atomic<int> done{0};
+  // Claim slot 0 with id 1; every later id k*64+1 hashes to the same slot
+  // and must take the side-map path.
+  pool.submit([&] { done.fetch_add(1); }, /*tenant=*/1);
+  pool.wait_idle();
+  for (int k = 1; k <= 200; ++k) {
+    const int id = k * 64 + 1;
+    pool.set_tenant_grant(id, 1);
+    pool.submit([&] { done.fetch_add(1); }, id);
+    pool.submit([&] { done.fetch_add(1); }, id);
+    pool.wait_idle();
+    EXPECT_EQ(pool.tenant_submitted(id), 2u);
+    EXPECT_TRUE(pool.retire_tenant(id)) << "id=" << id;
+    // Retired: the id no longer resolves to any state.
+    EXPECT_EQ(pool.tenant_submitted(id), 0u);
+    EXPECT_EQ(pool.tenant_grant(id), 0);
+    EXPECT_LE(pool.tenant_overflow_size(), 1u);  // bounded, not O(ids ever)
+  }
+  EXPECT_EQ(pool.tenant_overflow_size(), 0u);
+  EXPECT_EQ(done.load(), 401);
+  // The direct slot can be retired too, making it claimable by the next id.
+  EXPECT_TRUE(pool.retire_tenant(1));
+  pool.submit([&] { done.fetch_add(1); }, /*tenant=*/65);
+  pool.wait_idle();
+  EXPECT_EQ(pool.tenant_submitted(65), 1u);   // 65 claimed the freed slot...
+  EXPECT_EQ(pool.tenant_overflow_size(), 0u); // ...instead of overflowing
+}
+
+TEST(ThreadPool, RetiringASlotDoesNotSplitACollidingOverflowTenant) {
+  // Tenant 65 lives in the side map because tenant 1 holds its slot. When
+  // tenant 1 retires and frees the slot, 65 must KEEP using its side-map
+  // state — claiming the freed slot would fork its grant and counts and
+  // orphan the side-map entry forever.
+  ResizableThreadPool pool(1, 1);
+  std::atomic<int> done{0};
+  pool.submit([&] { done.fetch_add(1); }, /*tenant=*/1);   // claims slot 0
+  pool.submit([&] { done.fetch_add(1); }, /*tenant=*/65);  // collides: side map
+  pool.wait_idle();
+  pool.set_tenant_grant(65, 3);
+  EXPECT_EQ(pool.tenant_overflow_size(), 1u);
+  EXPECT_TRUE(pool.retire_tenant(1));  // frees slot 0
+  pool.submit([&] { done.fetch_add(1); }, /*tenant=*/65);
+  pool.wait_idle();
+  EXPECT_EQ(pool.tenant_grant(65), 3);       // grant survived intact
+  EXPECT_EQ(pool.tenant_submitted(65), 2u);  // counts did not fork
+  EXPECT_TRUE(pool.retire_tenant(65));
+  EXPECT_EQ(pool.tenant_overflow_size(), 0u);  // nothing orphaned
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPool, RetireTenantRefusesWhileWorkIsPending) {
+  ResizableThreadPool pool(1, 1);
+  std::atomic<bool> release{false};
+  std::atomic<bool> running{false};
+  pool.submit([&] {
+    running.store(true);
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  }, /*tenant=*/5);
+  while (!running.load()) std::this_thread::sleep_for(1ms);
+  pool.submit([] {}, /*tenant=*/5);        // queued behind the running task
+  EXPECT_FALSE(pool.retire_tenant(5));     // queued + running: must refuse
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_TRUE(pool.retire_tenant(5));      // drained: retire succeeds
+  EXPECT_FALSE(pool.retire_tenant(5));     // and is not repeatable
+  EXPECT_FALSE(pool.retire_tenant(0));     // untagged ids have no state
+}
+
 TEST(ThreadPool, GrantDeficitOutranksSurplusTenant) {
   // Deterministic pick-order check on a held worker: with one worker and a
   // backlog from two tenants, the tenant below its grant is served before
