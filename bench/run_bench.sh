@@ -11,15 +11,19 @@
 #     isolation vs the FIFO dispatch baseline,
 #   * estimator A/B (PR 4): fig5/6/7 scenarios under each estimator family
 #     member (EWMA / window mean / window median / P^2 quantile) plus the
-#     deterministic bursty-stream accuracy ranking.
+#     deterministic bursty-stream accuracy ranking,
+#   * transport/backend comparison (PR 5): real subprocess-worker join
+#     latency vs the simulated provision delay, the per-task transport
+#     bracket cost, and fig5 under --backend thread vs subprocess.
 # The per-scenario raw JSONs are kept next to the output
 # (<out>.pressure.json / <out>.weighted.json / <out>.aggressor.json /
-# <out>.estimators.json) so CI can upload each artifact individually.
+# <out>.estimators.json / <out>.transport.json) so CI can upload each
+# artifact individually.
 #
 # Usage: bench/run_bench.sh [--smoke] [output.json]
 #   --smoke: CI smoke mode — tiny iteration counts, no timing assertions;
 #            proves the bench pipeline runs and uploads an inspectable JSON.
-#   default output: BENCH_PR4.json in cwd.
+#   default output: BENCH_PR5.json in cwd.
 
 set -euo pipefail
 
@@ -31,7 +35,7 @@ for arg in "$@"; do
     *) out_json="${arg}" ;;
   esac
 done
-out_json="${out_json:-BENCH_PR4.json}"
+out_json="${out_json:-BENCH_PR5.json}"
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
@@ -39,6 +43,7 @@ build_dir="${repo_root}/build-bench"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
       -DASKEL_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${build_dir}" -j"$(nproc)" --target wct_algorithms multi_tenant \
+      transport_bench \
       >/dev/null
 
 micro_ok=1
@@ -55,6 +60,7 @@ mt_pressure_json="${out_json%.json}.pressure.json"
 mt_weighted_json="${out_json%.json}.weighted.json"
 mt_aggressor_json="${out_json%.json}.aggressor.json"
 est_ab_json="${out_json%.json}.estimators.json"
+transport_json="${out_json%.json}.transport.json"
 trap 'rm -f "${raw_json}"' EXIT
 
 min_time=0.2
@@ -89,6 +95,12 @@ est_args=(--estimators)
 [[ ${smoke} -eq 1 ]] && est_args+=(--smoke)
 "${build_dir}/wct_algorithms" "${est_args[@]}" > "${est_ab_json}"
 
+# Transport/backend comparison (PR 5): subprocess vs thread backend.
+tb_args=()
+[[ ${smoke} -eq 1 ]] && tb_args+=(--smoke)
+"${build_dir}/transport_bench" "${tb_args[@]+"${tb_args[@]}"}" \
+  > "${transport_json}"
+
 # WCT algorithm comparison rides along for the scheduling-cost trajectory
 # (skipped in smoke mode: it is the slowest piece and purely informational).
 if [[ ${smoke} -eq 0 ]]; then
@@ -96,7 +108,8 @@ if [[ ${smoke} -eq 0 ]]; then
 fi
 
 python3 - "${raw_json}" "${mt_pressure_json}" "${mt_weighted_json}" \
-  "${mt_aggressor_json}" "${out_json}" "${smoke}" "${est_ab_json}" <<'EOF'
+  "${mt_aggressor_json}" "${out_json}" "${smoke}" "${est_ab_json}" \
+  "${transport_json}" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
@@ -104,6 +117,7 @@ mt_pressure = json.load(open(sys.argv[2]))
 mt_weighted = json.load(open(sys.argv[3]))
 mt_aggressor = json.load(open(sys.argv[4]))
 estimator_ab = json.load(open(sys.argv[7]))
+transport = json.load(open(sys.argv[8]))
 by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
 
 def ns(name):
@@ -115,7 +129,7 @@ def items_per_sec(name):
     return round(b["items_per_second"]) if b and "items_per_second" in b else None
 
 out = {
-    "pr": 4,
+    "pr": 5,
     "smoke": sys.argv[6] == "1",
     "context": raw.get("context", {}),
     "event_dispatch_ns": {
@@ -144,6 +158,7 @@ out = {
         "aggressor": mt_aggressor,
     },
     "estimator_ab": estimator_ab,
+    "transport": transport,
 }
 json.dump(out, open(sys.argv[5], "w"), indent=2)
 print(f"wrote {sys.argv[5]}")

@@ -27,6 +27,10 @@ inline ScenarioConfig parse_config(int argc, char** argv, double goal) {
     if (std::strcmp(argv[k], "--tweets") == 0)
       cfg.corpus.num_tweets = static_cast<std::size_t>(std::atol(argv[k + 1]));
     if (std::strcmp(argv[k], "--max-lp") == 0) cfg.max_lp = std::atoi(argv[k + 1]);
+    if (std::strcmp(argv[k], "--backend") == 0)
+      cfg.backend = std::strcmp(argv[k + 1], "subprocess") == 0
+                        ? ScenarioBackend::kSubprocess
+                        : ScenarioBackend::kThread;
   }
   return cfg;
 }
@@ -51,6 +55,9 @@ inline void print_scenario(const char* title, const ScenarioConfig& cfg,
   std::cout << "scale " << cfg.timings.scale << "  goal " << fmt(res.goal, 3)
             << " s (" << cfg.wct_goal << " paper-seconds)  sequential "
             << fmt(cfg.timings.sequential_wct(), 3) << " s  max LP " << cfg.max_lp
+            << "  backend "
+            << (cfg.backend == ScenarioBackend::kSubprocess ? "subprocess"
+                                                            : "thread")
             << "\n";
   std::cout << "paper: " << paper_summary << "\n\n";
 

@@ -38,6 +38,8 @@ void AutonomicController::arm(Duration wct_goal_seconds, int max_lp) {
   last_reason_ = DecisionReason::kEmptySnapshot;
   evaluations_ = 0;
   actions_.clear();
+  // Failures that predate this arm are not this goal's business.
+  provision_failures_seen_ = pool_.provision_failures();
   if (coord_ != nullptr) coord_->arm_tenant(tenant_);
 }
 
@@ -123,6 +125,18 @@ Decision AutonomicController::evaluate_locked(TimePoint now) {
   }
   last_eval_ = now;
   ++evaluations_;
+  // Surface provisioning failures since the last evaluation: a planned grow
+  // the backend could not deliver. The bookkeeping already happened below us
+  // (the pool abandoned the request; a bound coordinator clawed the grant
+  // back), so this is one marker action — the decision below then re-plans
+  // from the LP that actually exists.
+  const std::uint64_t failures = pool_.provision_failures();
+  if (failures != provision_failures_seen_) {
+    provision_failures_seen_ = failures;
+    const int at = current_lp_locked();
+    actions_.push_back(Action{now, at, at, DecisionReason::kProvisionFailed,
+                              0.0, 0.0});
+  }
   const AdgSnapshot g = trackers_.snapshot(now);
   const int current = current_lp_locked();
   const Decision d = decide(g, goal_abs_, current, effective_max_lp(), cfg_.decision);

@@ -18,6 +18,7 @@
 // its granted share rather than the pool-wide target. Unbound, behavior is
 // identical to the single-controller original.
 
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -107,6 +108,10 @@ class AutonomicController {
   TimePoint goal_abs_ = 0.0;
   int max_lp_goal_ = 0;
   TimePoint last_eval_ = -1.0;
+  /// Pool provision-failure counter at the last evaluation (seeded at arm):
+  /// an advance means a grow this controller planned (or shared the pool
+  /// with) never materialized — surfaced as one kProvisionFailed action.
+  std::uint64_t provision_failures_seen_ = 0;
   DecisionReason last_reason_ = DecisionReason::kEmptySnapshot;
   long evaluations_ = 0;
   std::vector<Action> actions_;

@@ -12,9 +12,19 @@ LpBudgetCoordinator::LpBudgetCoordinator(ResizableThreadPool& pool, int budget,
       policy_(std::make_unique<DeadlinePressurePolicy>()) {
   budget_ = budget > 0 ? std::min(budget, pool_.max_lp()) : pool_.max_lp();
   pool_.set_lp_limit(budget_);
+  // Remote backends can refuse a grow; without this hook the refused LP
+  // would stay granted forever — budget stranded on a tenant that can never
+  // use it. The handler runs with no pool lock held (lock order: coordinator
+  // mutex above the pool's).
+  pool_.set_provision_failure_handler([this](int failed_target, int effective) {
+    on_provision_failed(failed_target, effective);
+  });
 }
 
 LpBudgetCoordinator::~LpBudgetCoordinator() {
+  // Unhook first: a provisioning thread must not call into a dying
+  // coordinator (callers quiesce pending grows before destruction).
+  pool_.set_provision_failure_handler(nullptr);
   // Give the pool back its full range; grants die with the coordinator —
   // including the per-tenant dispatch weights, so a later coordinator (or
   // none) never schedules against this one's stale grant vector.
@@ -24,6 +34,41 @@ LpBudgetCoordinator::~LpBudgetCoordinator() {
     }
   }
   pool_.set_lp_limit(pool_.max_lp());
+}
+
+void LpBudgetCoordinator::on_provision_failed(int failed_target, int effective) {
+  (void)failed_target;  // the reclaim is driven by what actually exists
+  std::lock_guard lock(mu_);
+  const int cap = std::max(1, effective);
+  int total = 0;
+  for (const Tenant& t : tenants_) total += t.grant;
+  if (total <= cap) return;
+  // Claw back the LP that never materialized: ascending pressure with a
+  // 1-thread floor per armed tenant — the same degradation order arbitration
+  // uses when the budget shrinks. The freed grant returns to the budget for
+  // whoever requests next (and can actually be provisioned).
+  std::vector<std::size_t> asc;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].registered && tenants_[i].grant > 0) asc.push_back(i);
+  }
+  std::stable_sort(asc.begin(), asc.end(), [&](std::size_t a, std::size_t b) {
+    return tenants_[a].pressure < tenants_[b].pressure;
+  });
+  const TimePoint now = clock_->now();
+  for (const std::size_t i : asc) {
+    if (total <= cap) break;
+    Tenant& t = tenants_[i];
+    const int floor = t.armed ? 1 : 0;
+    const int cut = std::min(t.grant - floor, total - cap);
+    if (cut <= 0) continue;
+    push_history_locked(TenantAction{now, static_cast<int>(i) + 1, t.desired,
+                                     t.grant, t.grant - cut, t.pressure});
+    t.grant -= cut;
+    total -= cut;
+    // A phantom grant earns no preemption-hold protection.
+    t.last_grow = kNeverGrew;
+    pool_.set_tenant_grant(static_cast<int>(i) + 1, t.grant);
+  }
 }
 
 int LpBudgetCoordinator::budget() const {
@@ -283,15 +328,8 @@ void LpBudgetCoordinator::arbitrate_locked() {
     if (k < idx.size() && idx[k] == i) g = grants[k++];
     if (!t.armed) g = 0;
     if (g != t.grant) {
-      // Bounded history: a long-lived coordinator re-arbitrates on every
-      // request, so the log keeps only the most recent ~kMaxHistory actions
-      // (dropped in halves to stay amortized O(1)).
-      if (history_.size() >= kMaxHistory) {
-        history_.erase(history_.begin(),
-                       history_.begin() + static_cast<long>(kMaxHistory / 2));
-      }
-      history_.push_back(TenantAction{now, static_cast<int>(i) + 1, t.desired,
-                                      t.grant, g, t.pressure});
+      push_history_locked(TenantAction{now, static_cast<int>(i) + 1, t.desired,
+                                       t.grant, g, t.pressure});
       if (g > t.grant) t.last_grow = now;
       t.grant = g;
       pool_.set_tenant_grant(static_cast<int>(i) + 1, g);
@@ -303,6 +341,17 @@ void LpBudgetCoordinator::arbitrate_locked() {
   // target — the same "disarm leaves the LP alone" semantics as the
   // uncoordinated controller.
   if (total > 0) pool_.set_target_lp(total);
+}
+
+void LpBudgetCoordinator::push_history_locked(TenantAction action) {
+  // Bounded history: a long-lived coordinator re-arbitrates on every
+  // request, so the log keeps only the most recent ~kMaxHistory actions
+  // (dropped in halves to stay amortized O(1)).
+  if (history_.size() >= kMaxHistory) {
+    history_.erase(history_.begin(),
+                   history_.begin() + static_cast<long>(kMaxHistory / 2));
+  }
+  history_.push_back(action);
 }
 
 const LpBudgetCoordinator::Tenant* LpBudgetCoordinator::find_locked(

@@ -157,13 +157,29 @@ class LpBudgetCoordinator {
   /// grant changes, install the grant vector into the pool's weighted
   /// dispatch, and push the aggregate target to the pool.
   void arbitrate_locked();
+  /// Pool provision-failure hook (installed at construction): a grow toward
+  /// `failed_target` never materialized, so grants above the `effective` LP
+  /// are bookkeeping against capacity that does not exist — claw them back
+  /// into the budget (ascending pressure, 1-thread floor) instead of
+  /// stranding them on the tenant whose provision failed. The tenant's
+  /// desired LP is untouched: its next request retries (the backend may have
+  /// recovered), and a permanent failure just repeats the reclaim — budget
+  /// never leaks either way.
+  void on_provision_failed(int failed_target, int effective);
+  void push_history_locked(TenantAction action);
   const Tenant* find_locked(int tenant) const;
   Tenant* find_locked(int tenant);
 
   ResizableThreadPool& pool_;
   const Clock* clock_;
 
-  mutable std::mutex mu_;
+  // Recursive: a backend that refuses a grow SYNCHRONOUSLY makes
+  // pool.set_target_lp (called from arbitrate_locked, mu_ held) invoke the
+  // provision-failure handler on this same thread before returning —
+  // on_provision_failed must be able to re-enter. The re-entry is safe:
+  // arbitrate's grant table is fully written before it actuates the pool,
+  // so the reclaim always sees a consistent state.
+  mutable std::recursive_mutex mu_;
   int budget_;
   int peak_total_ = 0;
   std::unique_ptr<ArbitrationPolicy> policy_;

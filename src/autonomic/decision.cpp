@@ -18,6 +18,7 @@ std::string to_string(DecisionReason r) {
     case DecisionReason::kIncreaseSaturated: return "increase-saturated";
     case DecisionReason::kDecreaseHalf: return "decrease-half";
     case DecisionReason::kDisarmed: return "disarmed";
+    case DecisionReason::kProvisionFailed: return "provision-failed";
   }
   return "?";
 }

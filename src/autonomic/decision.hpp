@@ -30,6 +30,11 @@ enum class DecisionReason : int {
   kDisarmed,           // controller not armed: no goal to plan for, no
                        // Execute step (in particular, no coordinator request
                        // that could race a reclaimed grant back in)
+  kProvisionFailed,    // a requested grow never materialized: the worker
+                       // backend could not provision (remote join refused or
+                       // timed out). The pool already fell back to the
+                       // effective LP and the coordinator clawed the grant
+                       // back; this action surfaces the episode in the log.
 };
 
 std::string to_string(DecisionReason r);

@@ -1,0 +1,300 @@
+#include "runtime/fake_transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace askel {
+
+namespace {
+
+/// SplitMix64: tiny, seedable, identical on every platform.
+std::uint64_t next_rng(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::int64_t to_us(Duration d) {
+  return static_cast<std::int64_t>(std::llround(d * 1e6));
+}
+
+}  // namespace
+
+class FakeWorkerTransport;
+
+struct FakeTransportFactory::State {
+  mutable std::mutex mu;
+  FakeFaultPlan plan;
+  const Clock* clock = nullptr;
+  std::uint64_t rng = 0;
+  int fail_left = 0;
+  int connects = 0;
+  std::uint64_t next_order = 0;  // delivery tie-break, totally ordered
+  std::vector<std::string> trace;
+  std::map<int, std::int64_t> ready_at_us;  // pending joins
+
+  std::int64_t now_us() const { return to_us(clock->now()); }
+
+  bool in_partition(std::int64_t t_us) const {
+    for (const auto& [from, to] : plan.partitions) {
+      if (t_us >= to_us(from) && t_us < to_us(to)) return true;
+    }
+    return false;
+  }
+
+  void log(std::int64_t t_us, int worker, std::string what) {
+    trace.push_back("t=" + std::to_string(t_us) + " w" +
+                    std::to_string(worker) + " " + std::move(what));
+  }
+};
+
+/// One fake remote worker. All state lives under the factory mutex so the
+/// trace is a total order across workers.
+class FakeWorkerTransport final : public Transport {
+ public:
+  FakeWorkerTransport(FakeTransportFactory::State& st, int worker)
+      : st_(st), worker_(worker) {}
+
+  bool send(const WireFrame& f) override {
+    std::lock_guard lock(st_.mu);
+    const std::int64_t now = st_.now_us();
+    if (!alive_) {
+      st_.log(now, worker_, std::string("send ") + to_string(f.type) +
+                                " -> dead link");
+      return false;
+    }
+    switch (f.type) {
+      case WireFrameType::kSubmit: {
+        ++submits_;
+        st_.log(now, worker_, "submit seq=" + std::to_string(f.seq) +
+                                  " hint=" + std::to_string(f.a));
+        if (worker_ == st_.plan.crash_worker &&
+            st_.plan.crash_on_nth_task > 0 &&
+            submits_ >= st_.plan.crash_on_nth_task) {
+          // The write made it out; the worker died executing the lease, so
+          // no completion ever comes back and the link reads as dead.
+          alive_ = false;
+          st_.log(now, worker_, "crash on task " + std::to_string(submits_));
+          return true;
+        }
+        if (st_.in_partition(now)) {
+          st_.log(now, worker_,
+                  "submit seq=" + std::to_string(f.seq) + " lost in partition");
+          return true;  // the local write "succeeded"; the remote never saw it
+        }
+        schedule_completion_locked(now, f.seq);
+        return true;
+      }
+      case WireFrameType::kHeartbeat: {
+        st_.log(now, worker_, "heartbeat seq=" + std::to_string(f.seq));
+        if (st_.in_partition(now)) {
+          st_.log(now, worker_, "heartbeat seq=" + std::to_string(f.seq) +
+                                    " lost in partition");
+          return true;
+        }
+        deliver_later_locked(
+            WireFrame{WireFrameType::kHeartbeatAck, static_cast<std::uint32_t>(worker_),
+                  f.seq, 0, 0},
+            now + to_us(st_.plan.heartbeat_latency));
+        return true;
+      }
+      case WireFrameType::kStealHint:
+        st_.log(now, worker_, "steal-hint depth=" + std::to_string(f.a));
+        return true;
+      case WireFrameType::kRetire:
+        st_.log(now, worker_, "retired");
+        alive_ = false;  // graceful exit: the fake worker just leaves
+        return true;
+      default:
+        st_.log(now, worker_, std::string("send ") + to_string(f.type));
+        return true;
+    }
+  }
+
+  bool recv(WireFrame& out, Duration timeout) override {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(std::max(0.0, timeout));
+    for (;;) {
+      {
+        std::lock_guard lock(st_.mu);
+        const std::int64_t now = st_.now_us();
+        if (pop_due_locked(now, out)) return true;
+        if (!alive_) return false;
+      }
+      // Virtual time never waits: nothing is due at this instant and only
+      // the test can advance the clock. Real time polls until the deadline.
+      if (st_.plan.virtual_time) return false;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  bool alive() const override {
+    std::lock_guard lock(st_.mu);
+    return alive_;
+  }
+
+  void close() override {
+    std::lock_guard lock(st_.mu);
+    if (alive_) st_.log(st_.now_us(), worker_, "closed");
+    alive_ = false;
+  }
+
+ private:
+  struct Msg {
+    std::int64_t due_us;
+    std::uint64_t order;
+    WireFrame frame;
+  };
+
+  void deliver_later_locked(const WireFrame& f, std::int64_t due_us) {
+    inbox_.push_back(Msg{due_us, st_.next_order++, f});
+  }
+
+  void schedule_completion_locked(std::int64_t now, std::uint64_t seq) {
+    ++completions_;
+    std::int64_t service = to_us(st_.plan.complete_latency);
+    if (st_.plan.complete_jitter > 0.0) {
+      const std::int64_t range = std::max<std::int64_t>(
+          1, to_us(st_.plan.complete_jitter));
+      service += static_cast<std::int64_t>(next_rng(st_.rng) %
+                                           static_cast<std::uint64_t>(range));
+    }
+    const std::int64_t due = now + service;
+    const WireFrame c{WireFrameType::kComplete, static_cast<std::uint32_t>(worker_),
+                  seq, 0, 0};
+    const auto hits = [&](int every) {
+      return every > 0 && completions_ % every == 0;
+    };
+    if (hits(st_.plan.drop_complete_every)) {
+      st_.log(now, worker_, "complete seq=" + std::to_string(seq) + " dropped");
+      return;
+    }
+    if (hits(st_.plan.reorder_complete_every)) {
+      st_.log(now, worker_,
+              "complete seq=" + std::to_string(seq) + " held for reorder");
+      held_ = Msg{due, st_.next_order++, c};
+      return;
+    }
+    deliver_later_locked(c, due);
+    st_.log(now, worker_, "complete seq=" + std::to_string(seq) + " due t=" +
+                              std::to_string(due));
+    if (hits(st_.plan.dup_complete_every)) {
+      deliver_later_locked(c, due + 1);
+      st_.log(now, worker_,
+              "complete seq=" + std::to_string(seq) + " duplicated");
+    }
+    if (held_) {
+      // The held (reordered) completion is released only after this newer
+      // one, so it arrives stale.
+      Msg released = std::move(*held_);
+      held_.reset();
+      released.due_us = due + 2;
+      released.order = st_.next_order++;
+      st_.log(now, worker_,
+              "complete seq=" + std::to_string(released.frame.seq) +
+                  " released after seq=" + std::to_string(seq));
+      inbox_.push_back(std::move(released));
+    }
+  }
+
+  bool pop_due_locked(std::int64_t now, WireFrame& out) {
+    for (;;) {
+      std::size_t best = inbox_.size();
+      for (std::size_t k = 0; k < inbox_.size(); ++k) {
+        if (inbox_[k].due_us > now) continue;
+        if (best == inbox_.size() ||
+            inbox_[k].due_us < inbox_[best].due_us ||
+            (inbox_[k].due_us == inbox_[best].due_us &&
+             inbox_[k].order < inbox_[best].order)) {
+          best = k;
+        }
+      }
+      if (best == inbox_.size()) return false;
+      Msg m = std::move(inbox_[best]);
+      inbox_.erase(inbox_.begin() + static_cast<std::ptrdiff_t>(best));
+      if (st_.in_partition(m.due_us)) {
+        st_.log(now, worker_,
+                std::string(to_string(m.frame.type)) + " seq=" +
+                    std::to_string(m.frame.seq) + " dropped in partition");
+        continue;  // it was in flight during a blackout: lost
+      }
+      st_.log(now, worker_, std::string("deliver ") +
+                                to_string(m.frame.type) + " seq=" +
+                                std::to_string(m.frame.seq));
+      out = m.frame;
+      return true;
+    }
+  }
+
+  FakeTransportFactory::State& st_;
+  const int worker_;
+  bool alive_ = true;
+  int submits_ = 0;
+  int completions_ = 0;
+  std::vector<Msg> inbox_;
+  std::optional<Msg> held_;
+};
+
+FakeTransportFactory::FakeTransportFactory(FakeFaultPlan plan,
+                                           const Clock* clock)
+    : st_(std::make_unique<State>()) {
+  st_->plan = std::move(plan);
+  st_->clock = clock;
+  st_->rng = st_->plan.seed;
+  st_->fail_left = st_->plan.fail_next_provisions;
+}
+
+FakeTransportFactory::~FakeTransportFactory() = default;
+
+TransportFactory::Connect FakeTransportFactory::try_connect(int worker) {
+  std::lock_guard lock(st_->mu);
+  const std::int64_t now = st_->now_us();
+  if (st_->fail_left > 0) {
+    --st_->fail_left;
+    st_->log(now, worker, "provision refused");
+    return Connect{nullptr, true};
+  }
+  auto [it, fresh] = st_->ready_at_us.try_emplace(
+      worker, now + to_us(st_->plan.provision_latency));
+  if (fresh) {
+    st_->log(now, worker, "join requested, ready t=" + std::to_string(it->second));
+  }
+  if (now < it->second) return Connect{};  // still joining
+  st_->ready_at_us.erase(it);
+  ++st_->connects;
+  st_->log(now, worker, "joined");
+  return Connect{std::make_unique<FakeWorkerTransport>(*st_, worker), false};
+}
+
+std::vector<std::string> FakeTransportFactory::trace() const {
+  std::lock_guard lock(st_->mu);
+  return st_->trace;
+}
+
+std::uint64_t FakeTransportFactory::trace_hash() const {
+  std::lock_guard lock(st_->mu);
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64
+  for (const std::string& line : st_->trace) {
+    for (const char c : line) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= static_cast<std::uint8_t>('\n');
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+int FakeTransportFactory::connects() const {
+  std::lock_guard lock(st_->mu);
+  return st_->connects;
+}
+
+}  // namespace askel

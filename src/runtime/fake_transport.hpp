@@ -1,0 +1,93 @@
+#pragma once
+// FakeTransportFactory: a seeded, virtual-clock transport double that makes
+// every remote failure mode a reproducible unit test.
+//
+// The fake models one remote worker per transport. Submitting a lease
+// schedules its Complete at a virtual delivery time; the fault plan then
+// perturbs delivery deterministically:
+//
+//   * slow provision   — try_connect reports "still joining" until the
+//                        virtual clock passes join-request + latency;
+//   * failed provision — the next N join attempts are refused outright;
+//   * crash-on-Nth     — a chosen worker's link dies on its Nth submit
+//                        (the completion is never produced, recv reports a
+//                        dead link);
+//   * drop             — every k-th completion is discarded;
+//   * duplicate        — every k-th completion is delivered twice;
+//   * reorder          — every k-th completion is held back and released
+//                        only after the NEXT completion, so it arrives
+//                        stale (an older seq after a newer one);
+//   * partition        — inside [from, to) windows sends are swallowed and
+//                        due deliveries are discarded at delivery time
+//                        (heartbeat probes time out: partition detection).
+//
+// Determinism: all times are integer virtual microseconds derived from the
+// injected clock; jitter comes from a SplitMix64 stream seeded by the plan.
+// Every action appends one line to a trace whose FNV-1a hash is
+// platform-stable — the golden seed-determinism test pins it.
+//
+// Threading: one factory-wide mutex guards everything (plan counters, the
+// trace, every per-worker inbox). This is a test double — simplicity and a
+// totally ordered trace beat scalability.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "util/clock.hpp"
+
+namespace askel {
+
+struct FakeFaultPlan {
+  std::uint64_t seed = 1;
+
+  // Provisioning.
+  Duration provision_latency = 0.0;  // virtual join time per worker
+  int fail_next_provisions = 0;      // refuse the next N try_connect calls
+
+  // Service model.
+  Duration complete_latency = 0.0;   // base virtual service time per lease
+  Duration complete_jitter = 0.0;    // + seeded jitter in [0, jitter)
+  Duration heartbeat_latency = 0.0;  // probe round-trip time
+
+  // Faults (per-worker counters; 0 = never, k = every k-th occurrence).
+  int crash_worker = -1;     // this worker's link dies...
+  int crash_on_nth_task = 0; // ...on its Nth submit (0 = never)
+  int drop_complete_every = 0;
+  int dup_complete_every = 0;
+  int reorder_complete_every = 0;
+
+  // Global connectivity blackouts, [from, to) in virtual seconds.
+  std::vector<std::pair<Duration, Duration>> partitions;
+
+  // true: deliveries keyed to a ManualClock the test advances (recv never
+  // waits). false: recv polls the real clock like a production transport.
+  bool virtual_time = true;
+};
+
+class FakeTransportFactory final : public TransportFactory {
+ public:
+  explicit FakeTransportFactory(FakeFaultPlan plan,
+                                const Clock* clock = &default_clock());
+  ~FakeTransportFactory() override;
+
+  Connect try_connect(int worker) override;
+
+  /// Totally ordered log of every transport action (copy: the factory lock
+  /// guards the underlying vector).
+  std::vector<std::string> trace() const;
+  /// FNV-1a 64 over the newline-joined trace — the golden-determinism pin.
+  std::uint64_t trace_hash() const;
+  /// Joins granted so far (observability for tests).
+  int connects() const;
+
+ private:
+  friend class FakeWorkerTransport;
+  struct State;
+  std::unique_ptr<State> st_;
+};
+
+}  // namespace askel

@@ -1,0 +1,188 @@
+#pragma once
+// RemoteWorkerBackend: the session state machine behind every remote
+// WorkerBackend — SubprocessBackend runs it over fork()ed processes and
+// socketpairs, the fault-injection tests run the *same* machine over
+// FakeTransportFactory, so the deterministic suite exercises exactly the
+// code the real transport uses.
+//
+// Model: one session per pool-worker index. The session is a *transport
+// proxy*, not a second scheduler — the task's closure always executes
+// in-process (skeleton muscles are closures over shared memory; shipping
+// computation needs serializable muscles, a future PR). What the session
+// makes real is everything the paper's §6 distribution sketch worries
+// about: join latency, join failure, crash, message loss, duplication,
+// reordering and partitions — i.e. the control plane of "adding workers
+// like adding threads".
+//
+// Lease protocol (per session, sequential — one outstanding lease, owned by
+// the pool worker thread that opened it):
+//   task_begin: Submit{seq} ships; the lease is open.
+//   task_end:   consume frames until Complete{seq} arrives (completed), the
+//               link dies or the completion deadline passes (recovered).
+//   Every non-zero lease ends in exactly one of those two states:
+//               leases == completes + losses_recovered, always — the
+//               fault suite pins this on every plan, so a dropped or
+//               reordered completion can never lose a task.
+//   A Complete with seq <= last accounted is a duplicate/stale delivery and
+//   is counted + ignored, so a duplicated completion can never double-close.
+//
+// Failure taxonomy -> behavior:
+//   slow provision    provision() returns kPending; the join lands through
+//                     the pool's ProvisionResult callback when the factory
+//                     yields the transport (virtual latency or real fork).
+//   failed provision  the factory refuses or the connect deadline passes:
+//                     ProvisionResult(target, false) — the pool abandons the
+//                     request, the coordinator claws the LP back.
+//   crash mid-task    the link reads dead in task_end: the lease is
+//                     recovered, the session is torn down, the next
+//                     provision() re-forks it.
+//   dropped/reordered the completion deadline passes with the link alive:
+//   completion        the lease is recovered but the session survives; the
+//                     late frame is ignored on arrival.
+//   partition         heartbeats vanish: probe() times out, declares the
+//                     session lost and recovers it.
+//
+// Locking: backend mutex (provision plane) and one mutex per session (lease
+// plane) are leaves under the pool's control mutex; ProvisionResult runs
+// with no backend lock held. factory.try_connect is called unlocked — a
+// slow fork never stalls the pool's control plane.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "runtime/worker_backend.hpp"
+#include "util/clock.hpp"
+
+namespace askel {
+
+struct RemoteBackendConfig {
+  /// Hard capacity: provisioning past this fails (kFailed) — the test hook
+  /// for "the cluster is full" and the subprocess fan-out bound.
+  int max_workers = 256;
+  /// Provision deadline: a pending join older than this fails.
+  Duration connect_timeout = 5.0;
+  /// Lease deadline: a completion not seen within this is recovered.
+  Duration complete_timeout = 1.0;
+  /// probe() deadline: no heartbeat-ack within this = partitioned/lost.
+  Duration heartbeat_timeout = 0.25;
+  /// While provisioning is idle, the backend's provisioning thread probes
+  /// every live, lease-free session at roughly this cadence, so a
+  /// partitioned idle worker is detected without waiting for its next
+  /// lease. 0 disables the sweep (manual_pump mode never sweeps — tests
+  /// call probe() themselves).
+  Duration heartbeat_interval = 1.0;
+  /// true: no provision thread — the test drives joins via pump() against a
+  /// virtual clock. false: a background thread polls the factory.
+  bool manual_pump = false;
+  const Clock* clock = &default_clock();
+  const char* name = "remote";
+};
+
+/// Monotonic counters; every lease is accounted exactly once:
+/// leases == completes + losses_recovered at every quiescent point.
+struct RemoteBackendStats {
+  std::uint64_t leases = 0;
+  std::uint64_t completes = 0;
+  std::uint64_t losses_recovered = 0;
+  std::uint64_t ignored_completes = 0;  // duplicate or stale deliveries
+  std::uint64_t heartbeats_acked = 0;
+  std::uint64_t provision_failures = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_lost = 0;
+  std::uint64_t sessions_retired = 0;
+};
+
+class RemoteWorkerBackend : public WorkerBackend {
+ public:
+  explicit RemoteWorkerBackend(TransportFactory& factory,
+                               RemoteBackendConfig cfg = {});
+  ~RemoteWorkerBackend() override;
+
+  const char* name() const override { return cfg_.name; }
+  bool remote() const override { return true; }
+  void bind(ProvisionResult on_result) override;
+  Provision provision(int have, int want) override;
+  void release(int have, int want) override;
+  std::uint64_t task_begin(int worker, std::uint64_t queued_hint) override;
+  void task_end(int worker, std::uint64_t lease) override;
+  void cancel() override;
+
+  /// Deterministic mode: advance the provisioning state machine as far as it
+  /// goes at the current (virtual) time — connect ready workers, report
+  /// failures. Reentrant-safe: the ProvisionResult callback may provision
+  /// again from inside (the coordinator reclaim path does).
+  void pump();
+
+  /// Liveness probe: heartbeat round trip within heartbeat_timeout. false
+  /// marks the session lost (torn down; re-provisioned on the next grow) —
+  /// this is how a partition becomes a detected failure.
+  bool probe(int worker);
+
+  /// Sessions with a live transport right now.
+  int live_sessions() const;
+  RemoteBackendStats stats() const;
+
+ private:
+  struct Session {
+    std::mutex mu;  // lease plane: transport use + seq bookkeeping
+    std::unique_ptr<Transport> transport;
+    std::uint64_t next_seq = 1;
+    std::uint64_t last_accounted = 0;  // highest seq completed OR recovered
+    std::uint64_t open_lease = 0;      // lease in flight (under mu)
+    /// Deferred retire: release() must not block on a session whose lease
+    /// is mid-flight (its mutex may be held for a whole completion
+    /// timeout, and release() runs under the pool's control mutex). The
+    /// flag asks the lease owner to retire the session at its next
+    /// boundary; a re-grow (provision covering this worker) cancels it.
+    std::atomic<bool> retire_requested{false};
+  };
+  struct Outcome {
+    ProvisionResult cb;
+    int target = 0;
+    bool ok = false;
+  };
+
+  /// One provisioning step. Returns true when it made progress (connected a
+  /// worker, resolved the pending target); fills `out` when a result must be
+  /// reported (call it with no lock held).
+  bool pump_step(Outcome& out);
+  void provision_loop(const std::stop_token& st);
+  /// Probe every live, lease-free session once (provision thread, idle).
+  void heartbeat_sweep();
+  bool session_live(int worker) const;
+  /// session.mu held: tear the transport down and count the loss.
+  void drop_session_locked(Session& s);
+  /// session.mu held: clean retire — Retire frame, close, count.
+  void retire_session_locked(Session& s, int worker);
+
+  TransportFactory& factory_;
+  const RemoteBackendConfig cfg_;
+  std::vector<std::unique_ptr<Session>> sessions_;  // max_workers, fixed
+
+  mutable std::mutex mu_;  // provision plane
+  std::condition_variable provision_cv_;
+  ProvisionResult result_;
+  int pending_target_ = 0;
+  TimePoint pending_since_ = 0.0;
+  bool stop_ = false;
+  std::jthread provision_thread_;
+
+  // Stats are atomics so the lease plane never takes the provision mutex.
+  std::atomic<std::uint64_t> leases_{0};
+  std::atomic<std::uint64_t> completes_{0};
+  std::atomic<std::uint64_t> losses_{0};
+  std::atomic<std::uint64_t> ignored_{0};
+  std::atomic<std::uint64_t> hb_acked_{0};
+  std::atomic<std::uint64_t> provision_failures_{0};
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_lost_{0};
+  std::atomic<std::uint64_t> sessions_retired_{0};
+};
+
+}  // namespace askel

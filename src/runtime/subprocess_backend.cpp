@@ -1,0 +1,280 @@
+#include "runtime/subprocess_backend.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace askel {
+namespace {
+
+// ---- raw fd helpers, shared with the fork child (async-signal-safe) -------
+
+bool write_full(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t at = 0;
+  while (at < size) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
+    const ssize_t n = ::send(fd, data + at, size - at, MSG_NOSIGNAL);
+    if (n > 0) {
+      at += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool read_full(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t at = 0;
+  while (at < size) {
+    const ssize_t n = ::read(fd, data + at, size - at);
+    if (n > 0) {
+      at += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error
+  }
+  return true;
+}
+
+// ---- the worker child ------------------------------------------------------
+
+/// Fork-without-exec body. The parent is multi-threaded, so everything here
+/// must be async-signal-safe: raw read/write on fixed stack buffers, _exit.
+/// encode/decode are heap-free by design (transport.hpp).
+[[noreturn]] void worker_child_loop(int fd, int worker, int crash_after) {
+  const WireFrameBytes hello =
+      encode_frame(WireFrame{WireFrameType::kHello, static_cast<std::uint32_t>(worker),
+                         0, static_cast<std::uint64_t>(::getpid()), 0});
+  if (!write_full(fd, hello.data(), hello.size())) _exit(1);
+  std::uint8_t buf[kWireFrameSize];
+  int tasks = 0;
+  for (;;) {
+    if (!read_full(fd, buf, kWireFrameSize)) _exit(0);  // pool went away
+    WireFrame f;
+    if (!decode_frame(buf, kWireFrameSize, f)) _exit(2);
+    switch (f.type) {
+      case WireFrameType::kSubmit: {
+        ++tasks;
+        if (crash_after > 0 && tasks >= crash_after) _exit(17);  // test hook
+        const WireFrameBytes c = encode_frame(
+            WireFrame{WireFrameType::kComplete, static_cast<std::uint32_t>(worker),
+                  f.seq, 0, 0});
+        if (!write_full(fd, c.data(), c.size())) _exit(0);
+        break;
+      }
+      case WireFrameType::kHeartbeat: {
+        const WireFrameBytes a = encode_frame(
+            WireFrame{WireFrameType::kHeartbeatAck, static_cast<std::uint32_t>(worker),
+                  f.seq, 0, 0});
+        if (!write_full(fd, a.data(), a.size())) _exit(0);
+        break;
+      }
+      case WireFrameType::kRetire: {
+        const WireFrameBytes r = encode_frame(
+            WireFrame{WireFrameType::kRetired, static_cast<std::uint32_t>(worker),
+                  f.seq, 0, 0});
+        write_full(fd, r.data(), r.size());  // best effort
+        _exit(0);
+      }
+      case WireFrameType::kStealHint:
+      default:
+        break;  // advisory / unknown: ignore
+    }
+  }
+}
+
+// ---- the parent-side transport ---------------------------------------------
+
+class PipeTransport final : public Transport {
+ public:
+  PipeTransport(int fd, pid_t pid, SubprocessTransportFactory* factory)
+      : fd_(fd), pid_(pid), factory_(factory) {}
+  ~PipeTransport() override { close(); }
+
+  bool send(const WireFrame& f) override {
+    std::lock_guard lock(mu_);
+    if (fd_ < 0) return false;
+    const WireFrameBytes bytes = encode_frame(f);
+    if (!write_full(fd_, bytes.data(), bytes.size())) {
+      alive_.store(false, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  bool recv(WireFrame& out, Duration timeout) override {
+    if (fd_ < 0) return false;
+    // Deadline-honoring frame read: poll before EVERY read, never a
+    // blocking read_full — a child stalled mid-frame (descheduled after a
+    // partial write) must not wedge the caller past `timeout`; the lease
+    // recovery in task_end depends on recv actually returning.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(std::max(0.0, timeout));
+    std::uint8_t buf[kWireFrameSize];
+    std::size_t at = 0;
+    while (at < kWireFrameSize) {
+      const double remaining_s =
+          std::chrono::duration<double>(deadline -
+                                        std::chrono::steady_clock::now())
+              .count();
+      if (remaining_s <= 0.0) {
+        // Plain timeout with nothing read is just "no frame"; a timeout
+        // MID-frame means the byte stream is desynced for good — poison
+        // the link so the session is recovered instead of re-waiting.
+        if (at != 0) alive_.store(false, std::memory_order_release);
+        return false;
+      }
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      int r;
+      do {
+        r = ::poll(&pfd, 1,
+                   static_cast<int>(std::ceil(remaining_s * 1000.0)));
+      } while (r < 0 && errno == EINTR);
+      if (r <= 0) continue;  // loop re-checks the deadline
+      const ssize_t n = ::read(fd_, buf + at, kWireFrameSize - at);
+      if (n > 0) {
+        at += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      alive_.store(false, std::memory_order_release);  // EOF: the child died
+      return false;
+    }
+    if (!decode_frame(buf, kWireFrameSize, out)) {
+      alive_.store(false, std::memory_order_release);  // garbage on the wire
+      return false;
+    }
+    return true;
+  }
+
+  bool alive() const override { return alive_.load(std::memory_order_acquire); }
+
+  void close() override {
+    // Pure teardown: the Retire frame (when one is due) is the session
+    // layer's business (RemoteWorkerBackend::release); here the fd close
+    // delivers EOF, which the child also treats as "retire now".
+    std::lock_guard lock(mu_);
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      if (factory_ != nullptr) factory_->forget_parent_fd(fd_);
+      fd_ = -1;
+    }
+    alive_.store(false, std::memory_order_release);
+    reap_locked();
+  }
+
+ private:
+  void reap_locked() {
+    if (pid_ <= 0) return;
+    // close() can run under the pool's control mutex (shrink path), so the
+    // grace period must stay tiny: a healthy child exits on Retire/EOF in
+    // well under a millisecond, and after SIGKILL waitpid returns
+    // immediately even for a wedged (e.g. stopped) child.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+    for (;;) {
+      const pid_t r = ::waitpid(pid_, nullptr, WNOHANG);
+      if (r == pid_ || (r < 0 && errno == ECHILD)) {
+        pid_ = -1;
+        return;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(pid_, SIGKILL);
+        ::waitpid(pid_, nullptr, 0);
+        pid_ = -1;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  int fd_ = -1;
+  pid_t pid_ = -1;
+  std::atomic<bool> alive_{true};
+  SubprocessTransportFactory* factory_ = nullptr;  // outlives every session
+  std::mutex mu_;  // send/close vs each other (recv stays lease-owner-only)
+};
+
+}  // namespace
+
+SubprocessTransportFactory::SubprocessTransportFactory(
+    SubprocessBackendConfig cfg)
+    : cfg_(cfg) {}
+
+TransportFactory::Connect SubprocessTransportFactory::try_connect(int worker) {
+  if (worker >= cfg_.max_workers) return Connect{nullptr, true};
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    return Connect{nullptr, true};
+  }
+  std::vector<int> inherited;
+  {
+    std::lock_guard lock(mu_);
+    inherited = parent_fds_;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return Connect{nullptr, true};
+  }
+  if (pid == 0) {
+    // Drop every inherited sibling-session fd (reading the vector and
+    // close() are async-signal-safe); keep only our own socket.
+    for (const int fd : inherited) {
+      if (fd != sv[1]) ::close(fd);
+    }
+    ::close(sv[0]);
+    worker_child_loop(sv[1], worker, cfg_.crash_after_tasks);
+  }
+  ::close(sv[1]);
+  {
+    std::lock_guard lock(mu_);
+    parent_fds_.push_back(sv[0]);
+  }
+  auto transport = std::make_unique<PipeTransport>(sv[0], pid, this);
+  WireFrame hello;
+  if (!transport->recv(hello, cfg_.hello_timeout) ||
+      hello.type != WireFrameType::kHello) {
+    return Connect{nullptr, true};  // transport dtor retires + reaps the child
+  }
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  {
+    std::lock_guard lock(mu_);
+    join_us_.push_back(us);
+  }
+  return Connect{std::move(transport), false};
+}
+
+std::vector<double> SubprocessTransportFactory::join_latencies_us() const {
+  std::lock_guard lock(mu_);
+  return join_us_;
+}
+
+void SubprocessTransportFactory::forget_parent_fd(int fd) {
+  std::lock_guard lock(mu_);
+  std::erase(parent_fds_, fd);
+}
+
+}  // namespace askel

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "runtime/worker_backend.hpp"
 
 namespace askel {
 
@@ -21,7 +24,11 @@ thread_local WorkerTls tls_worker;
 }  // namespace
 
 ResizableThreadPool::ResizableThreadPool(int initial_lp, int max_lp, const Clock* clock)
-    : clock_(clock), max_lp_(std::max(1, max_lp)), gauge_(clock), lp_limit_(max_lp_) {
+    : clock_(clock), max_lp_(std::max(1, max_lp)), gauge_(clock), lp_limit_(max_lp_),
+      default_backend_(std::make_unique<ThreadBackend>()) {
+  default_backend_->bind(
+      [this](int target, bool ok) { on_provision_result(target, ok); });
+  backend_.store(default_backend_.get(), std::memory_order_release);
   // All deque slots exist up front (stable addresses; stealers may scan any
   // slot without synchronizing with worker spawns).
   deques_.reserve(static_cast<std::size_t>(max_lp_));
@@ -35,9 +42,10 @@ ResizableThreadPool::ResizableThreadPool(int initial_lp, int max_lp, const Clock
 }
 
 ResizableThreadPool::~ResizableThreadPool() {
-  // Cancel pending provisioning first (jthread dtor requests stop + joins);
-  // no lock held, the timer bodies take mu_ themselves.
-  provision_timers_.clear();
+  // Cancel pending provisioning first (joins backend timers/threads); no
+  // lock held — in-flight provision callbacks take mu_ themselves and
+  // complete before cancel() returns.
+  backend_.load(std::memory_order_acquire)->cancel();
   {
     std::lock_guard lock(mu_);
     stopping_.store(true, std::memory_order_release);
@@ -45,6 +53,98 @@ ResizableThreadPool::~ResizableThreadPool() {
   work_cv_.notify_all();
   park_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+}
+
+void ResizableThreadPool::set_backend(WorkerBackend* backend) {
+  WorkerBackend* old = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    WorkerBackend* next = backend != nullptr ? backend : default_backend_.get();
+    WorkerBackend* cur = backend_.load(std::memory_order_relaxed);
+    if (cur == next) return;
+    next->bind([this](int target, bool ok) { on_provision_result(target, ok); });
+    backend_.store(next, std::memory_order_release);
+    backend_remote_.store(next->remote(), std::memory_order_release);
+    // Bring the new backend up to the current effective capacity (remote
+    // sessions for already-running workers). A kPending join lands through
+    // the callback as a no-op (target == effective); a failure here is not a
+    // grow failure — absent sessions just mean tasks run purely locally.
+    (void)next->provision(0, target_lp_.load(std::memory_order_relaxed));
+    old = cur;
+  }
+  // Outside mu_: cancel joins backend threads whose callbacks take mu_.
+  if (old != nullptr) old->cancel();
+}
+
+WorkerBackend* ResizableThreadPool::backend() const {
+  return backend_.load(std::memory_order_acquire);
+}
+
+std::uint64_t ResizableThreadPool::provision_failures() const {
+  return provision_failures_.load(std::memory_order_acquire);
+}
+
+void ResizableThreadPool::set_provision_failure_handler(
+    ProvisionFailureHandler handler) {
+  std::unique_lock lock(handler_mu_);
+  provision_failure_handler_ = std::move(handler);
+  // Don't return while an invocation of the OLD handler is still running on
+  // a backend thread: the coordinator uninstalls its handler from its
+  // destructor, and returning early would leave that thread calling into a
+  // dying object. (The waiter never deadlocks a self-notifying thread: the
+  // handler itself runs with handler_mu_ released.)
+  handler_cv_.wait(lock, [&] { return handler_inflight_ == 0; });
+}
+
+void ResizableThreadPool::notify_provision_failure(int failed_target) {
+  ProvisionFailureHandler handler;
+  {
+    std::lock_guard lock(handler_mu_);
+    handler = provision_failure_handler_;
+    if (handler) ++handler_inflight_;
+  }
+  if (handler) {
+    handler(failed_target, effective_lp());
+    {
+      std::lock_guard lock(handler_mu_);
+      --handler_inflight_;
+    }
+    handler_cv_.notify_all();
+  }
+}
+
+void ResizableThreadPool::on_provision_result(int target, bool ok) {
+  bool joined = false;
+  int failed_target = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (!stopping_.load(std::memory_order_relaxed)) {
+      if (ok) {
+        // Same stale-join guards as the PR 1 provision timer: a late join
+        // must not exceed the latest request nor shrink a larger effective
+        // value.
+        if (target > target_lp_.load(std::memory_order_relaxed) &&
+            target <= requested_lp_.load(std::memory_order_relaxed)) {
+          apply_target_locked(target);
+          joined = true;
+        }
+      } else if (target == requested_lp_.load(std::memory_order_relaxed) &&
+                 target > target_lp_.load(std::memory_order_relaxed)) {
+        // The live pending grow cannot materialize: abandon it so target and
+        // requested agree again (a stale failure — a newer request is already
+        // pending — is simply ignored; the newer outcome governs).
+        requested_lp_.store(target_lp_.load(std::memory_order_relaxed),
+                            std::memory_order_release);
+        provision_failures_.fetch_add(1, std::memory_order_acq_rel);
+        failed_target = target;
+      }
+    }
+  }
+  if (joined) {
+    work_cv_.notify_all();
+    park_cv_.notify_all();
+  }
+  if (failed_target != 0) notify_provision_failure(failed_target);
 }
 
 void ResizableThreadPool::submit(Task task) { submit(std::move(task), 0); }
@@ -183,6 +283,7 @@ bool ResizableThreadPool::retire_tenant(int tenant) {
     }
     slot.grant.store(0, std::memory_order_relaxed);
     slot.submitted.store(0, std::memory_order_relaxed);
+    slot.ordering.store(0, std::memory_order_relaxed);
     // Publish last: a find_tenant_state racing with this sees either the
     // full old state or an unclaimed slot, never a half-reset claim.
     slot.id.store(0, std::memory_order_release);
@@ -201,6 +302,7 @@ bool ResizableThreadPool::retire_tenant(int tenant) {
     }
     ts.grant.store(0, std::memory_order_relaxed);
     ts.submitted.store(0, std::memory_order_relaxed);
+    ts.ordering.store(0, std::memory_order_relaxed);
     ts.id.store(0, std::memory_order_relaxed);
   }
   // Into the reuse pool, not freed: a worker that grabbed the pointer from a
@@ -245,6 +347,20 @@ void ResizableThreadPool::set_tenant_dispatch(TenantDispatch mode) {
 TenantDispatch ResizableThreadPool::tenant_dispatch() const {
   return static_cast<TenantDispatch>(
       tenant_dispatch_.load(std::memory_order_relaxed));
+}
+
+void ResizableThreadPool::set_tenant_ordering(int tenant,
+                                              TenantOrdering ordering) {
+  if (tenant <= 0) return;
+  get_tenant_state(tenant).ordering.store(static_cast<int>(ordering),
+                                          std::memory_order_relaxed);
+}
+
+TenantOrdering ResizableThreadPool::tenant_ordering(int tenant) const {
+  const TenantState* ts = find_tenant_state(tenant);
+  return ts == nullptr ? TenantOrdering::kLifo
+                       : static_cast<TenantOrdering>(
+                             ts->ordering.load(std::memory_order_relaxed));
 }
 
 ResizableThreadPool::TenantState* ResizableThreadPool::pick_tenant_queue(
@@ -333,8 +449,16 @@ bool ResizableThreadPool::try_get_task(int index, Task& out,
       if (ts == nullptr) break;
       std::unique_lock qlock(ts->mu);
       if (ts->tasks.empty()) continue;
-      out = std::move(ts->tasks.back());  // newest first: depth-first per tenant
-      ts->tasks.pop_back();
+      // Service order is the tenant's knob: LIFO (default, newest first —
+      // depth-first per tenant) or FIFO (oldest first — arrival order).
+      if (ts->ordering.load(std::memory_order_relaxed) ==
+          static_cast<int>(TenantOrdering::kFifo)) {
+        out = std::move(ts->tasks.front());
+        ts->tasks.pop_front();
+      } else {
+        out = std::move(ts->tasks.back());
+        ts->tasks.pop_back();
+      }
       // `running` goes up under ts->mu, before the pop is visible as an
       // empty queue: retire_tenant (which checks emptiness and running
       // under the same lock) can therefore never observe a moment where a
@@ -428,7 +552,18 @@ void ResizableThreadPool::worker_loop(int index) {
           busy_open = true;
           gauge_.task_started();
         }
-        task();
+        // Remote backends bracket the task with a transport lease (submit /
+        // complete round trip + loss recovery); the thread backend pays one
+        // relaxed load and nothing else — the PR 1 hot path is untouched.
+        if (backend_remote_.load(std::memory_order_relaxed)) {
+          WorkerBackend* backend = backend_.load(std::memory_order_acquire);
+          const std::uint64_t lease = backend->task_begin(
+              index, queued_.load(std::memory_order_relaxed));
+          task();
+          backend->task_end(index, lease);
+        } else {
+          task();
+        }
         if (from_tenant != nullptr) {
           // Release: this is the worker's last touch of the tenant state; a
           // retire_tenant that acquires running == 0 afterwards may hand the
@@ -487,17 +622,20 @@ std::uint64_t ResizableThreadPool::tenant_submitted(int tenant) const {
 
 int ResizableThreadPool::set_target_lp(int n) {
   int clamped = 0;
+  int failed_target = 0;
   bool grew = false;
   bool applied = false;
   {
     std::lock_guard lock(mu_);
     clamped = request_target_locked(n, grew, applied);
+    failed_target = std::exchange(sync_failed_target_, 0);
   }
   // Wake parked workers on growth; wake idle sleepers whenever a change
   // applied so workers whose index fell out of range re-park promptly. (A
-  // delayed grow notifies from its timer instead.)
+  // pending backend join notifies from on_provision_result instead.)
   if (grew) park_cv_.notify_all();
   if (applied) work_cv_.notify_all();
+  if (failed_target != 0) notify_provision_failure(failed_target);
   return clamped;
 }
 
@@ -514,47 +652,36 @@ int ResizableThreadPool::request_target_locked(int n, bool& grew, bool& applied)
     return clamped;
   }
   requested_lp_.store(clamped, std::memory_order_release);
-  if (provision_delay_ > 0.0 &&
-      clamped > target_lp_.load(std::memory_order_relaxed)) {
-    // Simulated remote-worker join: the effective LP catches up with the
-    // requested one only after the delay. Registered under the same mu_
-    // hold as the decision (no drop/re-take window against shutdown), and
-    // finished timers are reaped here so the vector stays bounded.
-    reap_finished_timers_locked();
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    std::jthread timer(
-        [this, clamped, delay = provision_delay_, done](std::stop_token st) {
-          const auto deadline = std::chrono::steady_clock::now() +
-                                std::chrono::duration<double>(delay);
-          while (std::chrono::steady_clock::now() < deadline) {
-            if (st.stop_requested()) {
-              done->store(true, std::memory_order_release);
-              return;
-            }
-            std::this_thread::sleep_for(std::chrono::milliseconds(1));
-          }
-          bool joined = false;
-          {
-            std::lock_guard lock(mu_);
-            // A stale join must not exceed the latest request nor shrink a
-            // larger effective value.
-            if (!stopping_.load(std::memory_order_relaxed) &&
-                clamped > target_lp_.load(std::memory_order_relaxed) &&
-                clamped <= requested_lp_.load(std::memory_order_relaxed)) {
-              apply_target_locked(clamped);
-              joined = true;
-            }
-          }
-          if (joined) {
-            work_cv_.notify_all();
-            park_cv_.notify_all();
-          }
-          done->store(true, std::memory_order_release);
-        });
-    provision_timers_.push_back(ProvisionTimer{std::move(done), std::move(timer)});
-    return clamped;  // the timer notifies when the join lands
+  const int effective = target_lp_.load(std::memory_order_relaxed);
+  if (clamped > effective) {
+    // Growth is the backend's business: instant for in-process threads
+    // (kReady — apply inline, the original behavior), a delayed join for the
+    // simulated or real remote paths (kPending — on_provision_result
+    // finishes the job with the stale-join guards), or a refusal.
+    switch (backend_.load(std::memory_order_relaxed)->provision(effective,
+                                                                clamped)) {
+      case WorkerBackend::Provision::kReady:
+        break;
+      case WorkerBackend::Provision::kPending:
+        return clamped;  // the backend notifies when the join lands
+      case WorkerBackend::Provision::kFailed:
+        // Abandon the request — target and requested agree again, so failed
+        // growth never wedges the pool — and surface the failure (the
+        // caller invokes the handler once mu_ is dropped).
+        requested_lp_.store(effective, std::memory_order_release);
+        provision_failures_.fetch_add(1, std::memory_order_acq_rel);
+        sync_failed_target_ = clamped;
+        return clamped;
+    }
+    grew = true;
+  } else {
+    // Re-target at or below the effective LP: parking is local and
+    // immediate; remote backends retire surplus sessions best-effort. The
+    // equal case matters too — it cancels a still-pending larger grow
+    // (requested_lp_ moved back down), or the backend would keep chasing
+    // and then retain workers nobody asked for.
+    backend_.load(std::memory_order_relaxed)->release(effective, clamped);
   }
-  grew = clamped > target_lp_.load(std::memory_order_relaxed);
   apply_target_locked(clamped);
   applied = true;
   return clamped;
@@ -568,16 +695,9 @@ int ResizableThreadPool::apply_target_locked(int n) {
   return n;
 }
 
-void ResizableThreadPool::reap_finished_timers_locked() {
-  std::erase_if(provision_timers_, [](const ProvisionTimer& t) {
-    // `done` is the thread body's final act, so joining here (jthread dtor)
-    // is immediate and never waits on a thread that still wants mu_.
-    return t.done->load(std::memory_order_acquire);
-  });
-}
-
 int ResizableThreadPool::set_lp_limit(int n) {
   const int cap = std::clamp(n, 1, max_lp_);
+  int failed_target = 0;
   bool grew = false;
   bool applied = false;
   {
@@ -588,14 +708,16 @@ int ResizableThreadPool::set_lp_limit(int n) {
     // published it (no window for a concurrent set_target_lp holding the
     // stale cap). Shrinks apply immediately (surplus workers park at their
     // next boundary); a provisioned grow that was pending above the cap is
-    // re-targeted at the cap itself — the old timer self-cancels against the
-    // lowered requested_lp_, and request_target_locked registers a new one.
+    // re-targeted at the cap itself — the old join self-cancels against the
+    // lowered requested_lp_, and request_target_locked provisions anew.
     if (requested_lp_.load(std::memory_order_relaxed) > cap) {
       request_target_locked(cap, grew, applied);
+      failed_target = std::exchange(sync_failed_target_, 0);
     }
   }
   if (grew) park_cv_.notify_all();
   if (applied) work_cv_.notify_all();
+  if (failed_target != 0) notify_provision_failure(failed_target);
   return cap;
 }
 
@@ -604,13 +726,11 @@ int ResizableThreadPool::lp_limit() const {
 }
 
 void ResizableThreadPool::set_provision_delay(Duration d) {
-  std::lock_guard lock(mu_);
-  provision_delay_ = std::max(0.0, d);
+  backend_.load(std::memory_order_acquire)->set_provision_delay(std::max(0.0, d));
 }
 
 Duration ResizableThreadPool::provision_delay() const {
-  std::lock_guard lock(mu_);
-  return provision_delay_;
+  return backend_.load(std::memory_order_acquire)->provision_delay();
 }
 
 int ResizableThreadPool::target_lp() const {

@@ -41,6 +41,13 @@
 //    may be observed one dispatch late, bounding a victim's overshoot to
 //    one task per worker, never accumulating.
 //
+// Worker backends (PR 5): the pool schedules; the attached WorkerBackend
+// (worker_backend.hpp) owns where the capacity behind the workers comes
+// from. Growth routes through backend.provision() — instant for in-process
+// threads, asynchronous (and fallible) for remote workers — and remote
+// backends bracket every executed task with a transport lease. The default
+// ThreadBackend reproduces the pre-seam behavior byte-identically.
+//
 // Invariants:
 //  * at most `target_lp()` workers execute tasks concurrently;
 //  * workers are spawned lazily, up to `max_lp`, and parked (not destroyed)
@@ -54,6 +61,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -67,6 +75,9 @@
 
 namespace askel {
 
+class WorkerBackend;
+class ThreadBackend;
+
 /// Where tenant-tagged submits go. kWeighted (default) routes them to
 /// per-tenant run queues served by the grant-weighted pick; kFifo routes
 /// them exactly like untagged tasks (PR 2 behavior: accounting only, no
@@ -74,6 +85,12 @@ namespace askel {
 /// never strands work: queues filled under kWeighted are drained regardless
 /// of the current mode.
 enum class TenantDispatch : int { kFifo = 0, kWeighted = 1 };
+
+/// Per-tenant run-queue service order. kLifo (default) pops the newest task
+/// first — depth-first for nested skeletons, the original behavior. kFifo
+/// serves the oldest first — fair-arrival order for tenants whose tasks are
+/// independent requests rather than a task tree.
+enum class TenantOrdering : int { kLifo = 0, kFifo = 1 };
 
 class ResizableThreadPool {
  public:
@@ -122,6 +139,12 @@ class ResizableThreadPool {
   void set_tenant_dispatch(TenantDispatch mode);
   TenantDispatch tenant_dispatch() const;
 
+  /// Per-tenant service order of the tenant's run queue (default kLifo).
+  /// Takes effect on the next dispatch pick; tasks already queued are served
+  /// under the new order. Reset to kLifo when the tenant is retired.
+  void set_tenant_ordering(int tenant, TenantOrdering ordering);
+  TenantOrdering tenant_ordering(int tenant) const;
+
   /// Retire a long-dead tenant id: drop its accounting/dispatch state so the
   /// exact side map stays O(peak live tenants) instead of O(distinct ids
   /// ever). Succeeds only when the tenant's per-tenant gauges show no queued
@@ -155,11 +178,37 @@ class ResizableThreadPool {
   int set_lp_limit(int n);
   int lp_limit() const;
 
+  /// Attach a worker backend — "where LP lives" (see worker_backend.hpp).
+  /// nullptr restores the built-in ThreadBackend. Call before arming
+  /// controllers / submitting work: workers read the backend pointer with no
+  /// lock on their task path. The backend must outlive the pool (the pool
+  /// cancels its pending provisions on destruction). Growth requested while
+  /// the previous backend was attached resolves under the old backend's
+  /// callbacks; quiesce first.
+  void set_backend(WorkerBackend* backend);
+  WorkerBackend* backend() const;
+
+  /// Provisions that failed (backend refused or could not join workers).
+  /// Each failure also abandoned its pending request: target_lp() falls back
+  /// to effective_lp(), so failed growth never wedges the pool. The
+  /// controller diffs this counter to surface DecisionReason::kProvisionFailed.
+  std::uint64_t provision_failures() const;
+
+  /// Invoked (on a backend or caller thread, with no pool lock held) after a
+  /// provision failure: `failed_target` is the LP that could not be reached,
+  /// `effective` the LP actually running. The LP-budget coordinator installs
+  /// a handler to claw the unprovisionable LP back into its budget.
+  using ProvisionFailureHandler =
+      std::function<void(int failed_target, int effective)>;
+  void set_provision_failure_handler(ProvisionFailureHandler handler);
+
   /// Simulated worker-provisioning delay (paper §6 future work: a
   /// distributed backend adds workers "like adding threads", but a remote
   /// worker takes time to join). With a non-zero delay, LP increases take
   /// effect only after `d` seconds; decreases stay immediate (parking is
-  /// local). 0 (default) restores plain multicore semantics.
+  /// local). 0 (default) restores plain multicore semantics. Forwarded to
+  /// the attached backend; real remote backends ignore it (their join
+  /// latency is measured, not configured).
   void set_provision_delay(Duration d);
   Duration provision_delay() const;
 
@@ -201,9 +250,10 @@ class ResizableThreadPool {
     std::atomic<int> grant{0};    // coordinator grant vector entry
     std::atomic<int> running{0};  // workers executing this tenant now
     std::atomic<int> queued{0};   // tasks in `tasks` (advisory, for scans)
+    std::atomic<int> ordering{0}; // TenantOrdering (kLifo default)
     std::atomic<std::uint64_t> submitted{0};
     std::mutex mu;                // guards `tasks` only
-    std::deque<Task> tasks;       // LIFO run queue (newest popped first)
+    std::deque<Task> tasks;       // run queue (newest popped first by default)
   };
 
   void worker_loop(int index);
@@ -227,7 +277,11 @@ class ResizableThreadPool {
   /// side map) if missing.
   TenantState& get_tenant_state(int tenant);
   void maybe_wake_one();
-  void reap_finished_timers_locked();
+  /// Backend provision-outcome sink (bound at attach): applies joined
+  /// targets with the same stale-join guards the PR 1 timer used, or
+  /// abandons failed requests and surfaces the failure.
+  void on_provision_result(int target, bool ok);
+  void notify_provision_failure(int failed_target);
 
   const Clock* clock_;
   const int max_lp_;
@@ -274,18 +328,30 @@ class ResizableThreadPool {
   std::atomic<int> tenant_tasks_{0};
   std::atomic<int> tenant_dispatch_{static_cast<int>(TenantDispatch::kWeighted)};
 
+  // ---- backend plane: where worker capacity comes from ---------------------
+  // The default is the built-in ThreadBackend (instant in-process workers;
+  // provision delay simulated). `backend_remote_` gates the per-task
+  // transport bracket in one relaxed load, so the thread-backend hot path
+  // is exactly the PR 1 loop. `sync_failed_target_` carries a synchronous
+  // provision failure from request_target_locked (under mu_) to the caller,
+  // which invokes the failure handler after dropping mu_ (the handler takes
+  // the coordinator's mutex, which sits ABOVE the pool's in the lock order).
+  std::unique_ptr<ThreadBackend> default_backend_;
+  std::atomic<WorkerBackend*> backend_{nullptr};
+  std::atomic<bool> backend_remote_{false};
+  std::atomic<std::uint64_t> provision_failures_{0};
+  int sync_failed_target_ = 0;  // under mu_
+  std::mutex handler_mu_;       // leaf: guards the failure handler slot
+  std::condition_variable handler_cv_;  // uninstall waits out invocations
+  int handler_inflight_ = 0;            // under handler_mu_
+  ProvisionFailureHandler provision_failure_handler_;
+
   // ---- control plane: LP changes, parking, sleeping, shutdown --------------
-  struct ProvisionTimer {
-    std::shared_ptr<std::atomic<bool>> done;  // set as the thread's last act
-    std::jthread thread;                      // destroyed first: stop + join
-  };
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // runnable workers wait for tasks here
   std::condition_variable park_cv_;  // surplus workers wait for LP growth here
   std::condition_variable idle_cv_;  // wait_idle()
   std::vector<std::thread> workers_;
-  std::vector<ProvisionTimer> provision_timers_;
-  Duration provision_delay_ = 0.0;
 };
 
 }  // namespace askel

@@ -1,0 +1,74 @@
+#include "runtime/transport.hpp"
+
+namespace askel {
+
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k) p[k] = static_cast<std::uint8_t>(v >> (8 * k));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int k = 0; k < 8; ++k) v |= static_cast<std::uint64_t>(p[k]) << (8 * k);
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(WireFrameType t) {
+  switch (t) {
+    case WireFrameType::kHello: return "hello";
+    case WireFrameType::kSubmit: return "submit";
+    case WireFrameType::kComplete: return "complete";
+    case WireFrameType::kHeartbeat: return "heartbeat";
+    case WireFrameType::kHeartbeatAck: return "heartbeat-ack";
+    case WireFrameType::kStealHint: return "steal-hint";
+    case WireFrameType::kRetire: return "retire";
+    case WireFrameType::kRetired: return "retired";
+  }
+  return "unknown";
+}
+
+WireFrameBytes encode_frame(const WireFrame& f) {
+  WireFrameBytes out{};
+  put_u32(out.data(), static_cast<std::uint32_t>(kWireFramePayloadSize));
+  out[4] = static_cast<std::uint8_t>(f.type);
+  put_u32(out.data() + 5, f.worker);
+  put_u64(out.data() + 9, f.seq);
+  put_u64(out.data() + 17, f.a);
+  put_u64(out.data() + 25, f.b);
+  return out;
+}
+
+bool decode_frame(const std::uint8_t* wire, std::size_t size, WireFrame& out) {
+  if (wire == nullptr || size != kWireFrameSize) return false;
+  if (get_u32(wire) != kWireFramePayloadSize) return false;
+  const std::uint8_t type = wire[4];
+  if (type < static_cast<std::uint8_t>(WireFrameType::kHello) ||
+      type > static_cast<std::uint8_t>(WireFrameType::kRetired)) {
+    return false;
+  }
+  out.type = static_cast<WireFrameType>(type);
+  out.worker = get_u32(wire + 5);
+  out.seq = get_u64(wire + 9);
+  out.a = get_u64(wire + 17);
+  out.b = get_u64(wire + 25);
+  return true;
+}
+
+}  // namespace askel

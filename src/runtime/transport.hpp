@@ -1,0 +1,107 @@
+#pragma once
+// The remote-worker wire protocol and the Transport seam underneath
+// RemoteWorkerBackend.
+//
+// Every message is one fixed-size, length-prefixed frame:
+//
+//   [u32 payload_len = 29][u8 type][u32 worker][u64 seq][u64 a][u64 b]
+//
+// all fields little-endian regardless of host order, so traces and golden
+// tests are byte-identical across platforms. The frame vocabulary is the
+// protocol the paper's §6 sketch needs and nothing more:
+//
+//   kHello        worker -> pool   "I joined" (a = pid); ends provisioning
+//   kSubmit       pool -> worker   lease `seq` opens (a = pool backlog, the
+//                                  piggybacked steal hint; b = test flags)
+//   kComplete     worker -> pool   lease `seq` closes
+//   kHeartbeat    pool -> worker   liveness probe `seq`
+//   kHeartbeatAck worker -> pool   probe reply
+//   kStealHint    pool -> worker   advisory: backlog exists (a = depth)
+//   kRetire       pool -> worker   clean shutdown request
+//   kRetired      worker -> pool   shutdown acknowledged
+//
+// A Transport is one worker's duplex channel. Implementations:
+//   * PipeTransport (subprocess_backend.cpp): a socketpair to a fork()ed
+//     worker process — real fds, real EOF-on-crash, real join latency;
+//   * FakeWorkerTransport (fake_transport.cpp): a seeded, virtual-clock
+//     double that injects every failure mode deterministically.
+//
+// encode/decode are freestanding and heap-free so the fork()ed worker child
+// (which may only use async-signal-safe operations) can share them.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/clock.hpp"
+
+namespace askel {
+
+/// Wire values — never renumber.
+enum class WireFrameType : std::uint8_t {
+  kHello = 1,
+  kSubmit = 2,
+  kComplete = 3,
+  kHeartbeat = 4,
+  kHeartbeatAck = 5,
+  kStealHint = 6,
+  kRetire = 7,
+  kRetired = 8,
+};
+
+const char* to_string(WireFrameType t);
+
+struct WireFrame {
+  WireFrameType type = WireFrameType::kHello;
+  std::uint32_t worker = 0;  // worker index the frame concerns
+  std::uint64_t seq = 0;     // lease / probe sequence number (per worker)
+  std::uint64_t a = 0;       // kHello: pid; kSubmit/kStealHint: backlog depth
+  std::uint64_t b = 0;       // kSubmit: flags (test hooks)
+
+  bool operator==(const WireFrame&) const = default;
+};
+
+inline constexpr std::size_t kWireFramePayloadSize = 1 + 4 + 8 + 8 + 8;
+inline constexpr std::size_t kWireFrameSize = 4 + kWireFramePayloadSize;
+using WireFrameBytes = std::array<std::uint8_t, kWireFrameSize>;
+
+/// Serialize (length prefix included). Pure, heap-free, async-signal-safe.
+WireFrameBytes encode_frame(const WireFrame& f);
+
+/// Parse one whole frame (length prefix included). False on a short buffer,
+/// a wrong length prefix, or an unknown type — the caller treats any of
+/// those as a poisoned link.
+bool decode_frame(const std::uint8_t* wire, std::size_t size, WireFrame& out);
+
+/// One remote worker's duplex channel.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Ship a frame. False = link down (the caller recovers the session).
+  virtual bool send(const WireFrame& f) = 0;
+  /// Next inbound frame, waiting up to `timeout` seconds (0 = only what is
+  /// already deliverable; virtual-time transports never wait). False =
+  /// nothing arrived — check alive() to tell timeout from a dead link.
+  virtual bool recv(WireFrame& out, Duration timeout) = 0;
+  virtual bool alive() const = 0;
+  /// Best-effort retire + teardown. Idempotent.
+  virtual void close() = 0;
+};
+
+/// Provisions transports, one join attempt per call.
+class TransportFactory {
+ public:
+  struct Connect {
+    std::unique_ptr<Transport> transport;  // non-null: the worker joined
+    bool failed = false;                   // true: provisioning it failed
+    // neither: still joining — poll again (after advancing virtual time,
+    // or after a real-time backoff).
+  };
+
+  virtual ~TransportFactory() = default;
+  virtual Connect try_connect(int worker) = 0;
+};
+
+}  // namespace askel

@@ -1,0 +1,76 @@
+#include "runtime/worker_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace askel {
+
+ThreadBackend::~ThreadBackend() { cancel(); }
+
+void ThreadBackend::bind(ProvisionResult on_result) {
+  std::lock_guard lock(mu_);
+  result_ = std::move(on_result);
+}
+
+WorkerBackend::Provision ThreadBackend::provision(int have, int want) {
+  std::lock_guard lock(mu_);
+  if (want <= have || delay_ <= 0.0) return Provision::kReady;
+  // Simulated remote-worker join (the PR 1 provision timer, relocated): the
+  // effective LP catches up with the requested one only after the delay.
+  // Finished timers are reaped here so the vector stays bounded.
+  reap_finished_locked();
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  // Copy the callback: the timer body must not touch backend state (it only
+  // reports into the pool, whose handler re-validates against the latest
+  // request — a stale join never exceeds it, never shrinks a larger value).
+  ProvisionResult result = result_;
+  std::jthread timer(
+      [result, want, delay = delay_, done](std::stop_token st) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::duration<double>(delay);
+        while (std::chrono::steady_clock::now() < deadline) {
+          if (st.stop_requested()) {
+            done->store(true, std::memory_order_release);
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (result) result(want, true);
+        done->store(true, std::memory_order_release);
+      });
+  timers_.push_back(Timer{std::move(done), std::move(timer)});
+  return Provision::kPending;
+}
+
+void ThreadBackend::cancel() {
+  std::vector<Timer> timers;
+  {
+    std::lock_guard lock(mu_);
+    timers.swap(timers_);
+  }
+  // Joined outside mu_: a timer past its sleep may be inside the pool's
+  // result handler, which never takes this backend's mutex — but the pool
+  // may call cancel() while holding its own, so no lock may be held here.
+  timers.clear();
+}
+
+void ThreadBackend::reap_finished_locked() {
+  std::erase_if(timers_, [](const Timer& t) {
+    // `done` is the thread body's final act, so joining here (jthread dtor)
+    // is immediate and never waits on a thread still inside the callback.
+    return t.done->load(std::memory_order_acquire);
+  });
+}
+
+void ThreadBackend::set_provision_delay(Duration d) {
+  std::lock_guard lock(mu_);
+  delay_ = std::max(0.0, d);
+}
+
+Duration ThreadBackend::provision_delay() const {
+  std::lock_guard lock(mu_);
+  return delay_;
+}
+
+}  // namespace askel

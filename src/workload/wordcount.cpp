@@ -4,6 +4,8 @@
 #include <functional>
 #include <optional>
 
+#include "runtime/subprocess_backend.hpp"
+
 namespace askel {
 namespace {
 
@@ -142,11 +144,21 @@ ScenarioResult run_wordcount_scenario(const ScenarioConfig& cfg,
   // then gauge/lp_history series mix all tenants sharing it). A coordinator
   // always runs on its own pool — grants actuate there, so running anywhere
   // else (including a mismatched shared_pool) would leave the executing pool
-  // stuck at initial_lp.
+  // stuck at initial_lp. The subprocess backend is declared before the pool:
+  // the pool's destructor cancels pending provisions against it.
+  std::optional<SubprocessBackend> subprocess_backend;
   std::optional<ResizableThreadPool> own_pool;
   ResizableThreadPool* shared =
       cfg.coordinator != nullptr ? &cfg.coordinator->pool() : cfg.shared_pool;
-  if (shared == nullptr) own_pool.emplace(cfg.initial_lp, cfg.max_lp);
+  if (shared == nullptr) {
+    own_pool.emplace(cfg.initial_lp, cfg.max_lp);
+    if (cfg.backend == ScenarioBackend::kSubprocess) {
+      SubprocessBackendConfig sub;
+      sub.max_workers = cfg.max_lp;
+      subprocess_backend.emplace(sub);
+      own_pool->set_backend(&*subprocess_backend);
+    }
+  }
   ResizableThreadPool& pool = shared != nullptr ? *shared : *own_pool;
   EventBus bus;
   EstimateRegistry reg(cfg.estimator_config(), cfg.scope);

@@ -82,12 +82,21 @@ NamedEstimates export_named_estimates(const EstimateRegistry& reg,
 void init_named_estimates(EstimateRegistry& reg, const SkelNode& root,
                           const NamedEstimates& named);
 
+/// Where the pool's worker capacity lives (paper §6): in-process threads
+/// (the default, the paper's multicore testbed) or fork()ed worker processes
+/// behind the subprocess transport — real join latency, real crash
+/// detection, same LP decisions.
+enum class ScenarioBackend : int { kThread = 0, kSubprocess = 1 };
+
 struct ScenarioConfig {
   PaperTimings timings;            // includes the time scale
   TweetCorpusConfig corpus;        // synthetic-corpus shape
   double wct_goal = 9.5;           // paper-scale seconds; scaled internally
   int max_lp = 24;                 // paper testbed: 24 hardware threads
   int initial_lp = 1;
+  /// Worker backend of the run's own pool. Ignored when shared_pool or
+  /// coordinator is set — a shared pool's backend belongs to its owner.
+  ScenarioBackend backend = ScenarioBackend::kThread;
   double rho = 0.5;                // estimator smoothing (EWMA)
   /// Which WCT/cardinality estimator this tenant's registry runs (the PR 4
   /// estimator family; kEwma reproduces the paper, bit-identical). `rho`

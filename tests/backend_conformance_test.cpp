@@ -1,0 +1,259 @@
+// Transport conformance suite: one parameterized fixture, run against every
+// WorkerBackend — ThreadBackend (in-process), SubprocessBackend (real
+// fork()ed worker processes over socketpairs) and RemoteWorkerBackend over a
+// benign real-time FakeTransport. Future backends join the suite by adding a
+// value to the INSTANTIATE list and inherit the same contract:
+//
+//   * every submitted task completes (plain, nested, tenant-tagged);
+//   * grow/shrink converges to the requested LP;
+//   * tenant accounting stays exact and retire-able;
+//   * remote backends account every lease exactly once (no lost tasks) and
+//     answer liveness probes.
+//
+// Subprocess-specific behavior (real crashes, capacity refusal) is covered
+// by the non-parameterized tests at the bottom.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "runtime/fake_transport.hpp"
+#include "runtime/remote_backend.hpp"
+#include "runtime/subprocess_backend.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/worker_backend.hpp"
+
+namespace askel {
+namespace {
+
+using namespace std::chrono_literals;
+
+enum class BackendKind { kThread, kSubprocess, kFakeRemote };
+
+std::string kind_name(const ::testing::TestParamInfo<BackendKind>& info) {
+  switch (info.param) {
+    case BackendKind::kThread: return "Thread";
+    case BackendKind::kSubprocess: return "Subprocess";
+    case BackendKind::kFakeRemote: return "FakeRemote";
+  }
+  return "Unknown";
+}
+
+/// Pool + backend rig. Declaration order matters: the pool is destroyed
+/// first (it cancels pending provisions against the backend), then the
+/// backend, then the transport factory.
+struct Rig {
+  std::unique_ptr<FakeTransportFactory> factory;
+  std::unique_ptr<WorkerBackend> backend;
+  std::unique_ptr<ResizableThreadPool> pool;
+  RemoteWorkerBackend* remote = nullptr;  // non-null for remote kinds
+
+  Rig(BackendKind kind, int initial_lp, int max_lp) {
+    pool = std::make_unique<ResizableThreadPool>(initial_lp, max_lp);
+    switch (kind) {
+      case BackendKind::kThread:
+        break;  // the built-in default
+      case BackendKind::kSubprocess: {
+        SubprocessBackendConfig cfg;
+        cfg.max_workers = max_lp;
+        auto sub = std::make_unique<SubprocessBackend>(cfg);
+        remote = sub.get();
+        backend = std::move(sub);
+        break;
+      }
+      case BackendKind::kFakeRemote: {
+        FakeFaultPlan plan;
+        plan.virtual_time = false;  // poll the real clock: no pumping needed
+        factory = std::make_unique<FakeTransportFactory>(plan);
+        RemoteBackendConfig cfg;
+        cfg.max_workers = max_lp;
+        cfg.name = "fake";
+        auto rem = std::make_unique<RemoteWorkerBackend>(*factory, cfg);
+        remote = rem.get();
+        backend = std::move(rem);
+        break;
+      }
+    }
+    if (backend != nullptr) pool->set_backend(backend.get());
+  }
+
+  ~Rig() {
+    pool.reset();
+    backend.reset();
+    factory.reset();
+  }
+
+  /// Remote joins are asynchronous: poll until the effective LP converges.
+  bool wait_effective(int lp, Duration timeout = 10.0) const {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout);
+    while (pool->effective_lp() != lp) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(1ms);
+    }
+    return true;
+  }
+};
+
+class BackendConformance : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(BackendConformance, ReportsAnIdentity) {
+  Rig rig(GetParam(), 2, 4);
+  ASSERT_NE(rig.pool->backend(), nullptr);
+  EXPECT_STRNE(rig.pool->backend()->name(), "");
+  EXPECT_EQ(rig.pool->backend()->remote(), rig.remote != nullptr);
+}
+
+TEST_P(BackendConformance, CompletesEverySubmittedTask) {
+  Rig rig(GetParam(), 2, 4);
+  std::atomic<int> done{0};
+  for (int k = 0; k < 300; ++k) {
+    rig.pool->submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  rig.pool->wait_idle();
+  EXPECT_EQ(done.load(), 300);
+  if (rig.remote != nullptr) {
+    // Every lease accounted exactly once; a benign transport loses none.
+    const RemoteBackendStats s = rig.remote->stats();
+    EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+    EXPECT_EQ(s.losses_recovered, 0u);
+  }
+}
+
+TEST_P(BackendConformance, CompletesNestedSubmits) {
+  Rig rig(GetParam(), 2, 4);
+  std::atomic<int> done{0};
+  for (int k = 0; k < 20; ++k) {
+    rig.pool->submit([&] {
+      for (int j = 0; j < 10; ++j) {
+        rig.pool->submit(
+            [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  rig.pool->wait_idle();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST_P(BackendConformance, GrowAndShrinkConverge) {
+  Rig rig(GetParam(), 1, 6);
+  EXPECT_EQ(rig.pool->set_target_lp(4), 4);
+  EXPECT_TRUE(rig.wait_effective(4));
+  EXPECT_EQ(rig.pool->set_target_lp(2), 2);  // shrink: local, immediate
+  EXPECT_EQ(rig.pool->effective_lp(), 2);
+  EXPECT_EQ(rig.pool->set_target_lp(5), 5);
+  EXPECT_TRUE(rig.wait_effective(5));
+  EXPECT_EQ(rig.pool->provision_failures(), 0u);
+}
+
+TEST_P(BackendConformance, TenantTaggedTasksCompleteAndRetire) {
+  Rig rig(GetParam(), 2, 4);
+  std::atomic<int> done{0};
+  for (int k = 0; k < 60; ++k) {
+    rig.pool->submit([&done] { done.fetch_add(1, std::memory_order_relaxed); },
+                     /*tenant=*/1 + (k % 3));
+  }
+  rig.pool->wait_idle();
+  EXPECT_EQ(done.load(), 60);
+  for (int tenant = 1; tenant <= 3; ++tenant) {
+    EXPECT_EQ(rig.pool->tenant_submitted(tenant), 20u);
+    EXPECT_TRUE(rig.pool->retire_tenant(tenant));
+  }
+  EXPECT_EQ(rig.pool->tenant_overflow_size(), 0u);
+}
+
+TEST_P(BackendConformance, RemoteSessionsAnswerLivenessProbes) {
+  Rig rig(GetParam(), 2, 4);
+  if (rig.remote == nullptr) GTEST_SKIP() << "liveness probes are remote-only";
+  // Session 0 comes up with the attach-time provision; wait for it.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (rig.remote->live_sessions() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_GE(rig.remote->live_sessions(), 1);
+  EXPECT_TRUE(rig.remote->probe(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendConformance,
+                         ::testing::Values(BackendKind::kThread,
+                                           BackendKind::kSubprocess,
+                                           BackendKind::kFakeRemote),
+                         kind_name);
+
+// ----------------------------------------------- subprocess-specific -------
+
+TEST(SubprocessBackend, RealWorkerCrashIsDetectedAndNoTaskIsLost) {
+  SubprocessBackendConfig cfg;
+  cfg.max_workers = 4;
+  cfg.crash_after_tasks = 5;  // every worker process dies after 5 leases
+  SubprocessBackend backend(cfg);
+  std::atomic<int> done{0};
+  {
+    ResizableThreadPool pool(2, 4);
+    pool.set_backend(&backend);
+    // Leases only open on live sessions: wait for the forks to land before
+    // submitting, or the tasks drain locally before any child can crash.
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (backend.live_sessions() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    ASSERT_EQ(backend.live_sessions(), 2);
+    for (int k = 0; k < 50; ++k) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+  }
+  // Every task completed even though the remote workers kept dying: the
+  // closures run in-process, crashes cost only the leases.
+  EXPECT_EQ(done.load(), 50);
+  const RemoteBackendStats s = backend.stats();
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+  EXPECT_GE(s.losses_recovered, 1u);  // the EOFs were really detected
+}
+
+TEST(SubprocessBackend, ProvisionBeyondCapacityFailsWithoutWedging) {
+  SubprocessBackendConfig cfg;
+  cfg.max_workers = 2;
+  SubprocessBackend backend(cfg);
+  ResizableThreadPool pool(1, 8);
+  pool.set_backend(&backend);
+  EXPECT_EQ(pool.set_target_lp(8), 8);  // clamp says 8, capacity says no
+  EXPECT_EQ(pool.target_lp(), 1);       // request abandoned synchronously
+  EXPECT_EQ(pool.provision_failures(), 1u);
+  EXPECT_EQ(pool.set_target_lp(2), 2);  // within capacity: fine
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (pool.effective_lp() != 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(pool.effective_lp(), 2);
+  pool.set_backend(nullptr);
+}
+
+TEST(SubprocessBackend, JoinLatencyIsMeasured) {
+  SubprocessBackendConfig cfg;
+  cfg.max_workers = 2;
+  SubprocessBackend backend(cfg);
+  {
+    ResizableThreadPool pool(2, 2);
+    pool.set_backend(&backend);
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (backend.live_sessions() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_EQ(backend.live_sessions(), 2);
+  }
+  const auto joins = backend.transport_factory().join_latencies_us();
+  ASSERT_GE(joins.size(), 2u);
+  for (const double us : joins) EXPECT_GT(us, 0.0);
+}
+
+}  // namespace
+}  // namespace askel

@@ -10,6 +10,8 @@
 
 #include "autonomic/controller.hpp"
 #include "autonomic/coordinator.hpp"
+#include "runtime/fake_transport.hpp"
+#include "runtime/remote_backend.hpp"
 #include "workload/paper_example.hpp"
 
 namespace askel {
@@ -392,6 +394,117 @@ TEST(Coordinator, GoalPressureIsRelativeMiss) {
   // Same absolute miss, tighter window => higher pressure.
   d.current_lp_wct = 15.0;
   EXPECT_GT(goal_pressure(d, 10.0, 5.0), goal_pressure(d, 10.0, 0.0));
+}
+
+// ------------------------------------------- remote provision failures --
+
+/// Deterministic remote rig: FakeTransport + manual pump on a virtual clock.
+struct RemoteRig {
+  ManualClock clock;
+  FakeTransportFactory factory;
+  RemoteWorkerBackend backend;
+
+  explicit RemoteRig(FakeFaultPlan plan)
+      : factory(std::move(plan), &clock), backend(factory, config(&clock)) {}
+
+  static RemoteBackendConfig config(const Clock* clock) {
+    RemoteBackendConfig rc;
+    rc.max_workers = 8;
+    rc.manual_pump = true;
+    rc.clock = clock;
+    rc.name = "fake";
+    return rc;
+  }
+};
+
+TEST(Coordinator, ProvisionFailureReclaimsStrandedGrant) {
+  // A tenant is granted LP whose remote provision fails: without the
+  // reclaim, the grant would stay charged against the budget forever —
+  // capacity nobody can use. The failure hook must shrink the grant back to
+  // what actually exists and free the budget for a tenant that CAN
+  // provision.
+  FakeFaultPlan plan;
+  plan.fail_next_provisions = 1;  // the first grow fails, later ones join
+  RemoteRig rig(plan);
+  ResizableThreadPool pool(2, 8);
+  pool.set_backend(&rig.backend);
+  LpBudgetCoordinator coord(pool, 8);
+  const int a = coord.register_tenant("a");
+  coord.arm_tenant(a);
+  EXPECT_EQ(coord.granted(a), 2);  // solo tenant inherits the pool target
+  EXPECT_EQ(coord.request(a, 6, 1.0), 6);
+  EXPECT_EQ(pool.effective_lp(), 2);  // the grow is pending...
+  rig.backend.pump();                 // ...and fails
+  EXPECT_EQ(pool.target_lp(), 2);     // pool: request abandoned
+  EXPECT_EQ(coord.granted(a), 2);     // coordinator: grant clawed back
+  EXPECT_EQ(coord.total_granted(), 2);
+  // The reclaim is in the history (auditable), not a silent decay.
+  const auto history = coord.history(a);
+  ASSERT_FALSE(history.empty());
+  EXPECT_EQ(history.back().from_grant, 6);
+  EXPECT_EQ(history.back().to_grant, 2);
+  // The freed budget is really usable: after A leaves, B provisions fine.
+  coord.release(a);
+  coord.unregister_tenant(a);
+  const int b = coord.register_tenant("b");
+  coord.arm_tenant(b);
+  EXPECT_EQ(coord.request(b, 4, 2.0), 4);
+  rig.backend.pump();  // joins land this time
+  EXPECT_EQ(pool.effective_lp(), 4);
+  EXPECT_EQ(coord.granted(b), 4);
+  coord.release(b);
+  pool.set_backend(nullptr);
+}
+
+TEST(Coordinator, SynchronousProvisionRefusalReclaimsInline) {
+  // A backend can refuse a grow SYNCHRONOUSLY (capacity cap): the failure
+  // handler then runs on the coordinator's own thread, re-entering the
+  // coordinator from inside arbitrate's set_target_lp. This must reclaim
+  // inline — not deadlock — and the caller must observe the reclaimed
+  // grant.
+  FakeFaultPlan plan;
+  RemoteRig rig(plan);  // max_workers = 8 in the backend config...
+  ResizableThreadPool pool(2, 16);
+  pool.set_backend(&rig.backend);
+  rig.backend.pump();  // initial sessions join (latency 0)
+  LpBudgetCoordinator coord(pool, 12);
+  const int a = coord.register_tenant("a");
+  coord.arm_tenant(a);
+  // Desired 12 > the backend's 8-worker capacity: provision() returns
+  // kFailed without ever going pending.
+  const int granted = coord.request(a, 12, 1.0);
+  EXPECT_EQ(granted, 2);  // reclaimed to the effective LP, inline
+  EXPECT_EQ(coord.granted(a), 2);
+  EXPECT_EQ(pool.target_lp(), 2);
+  EXPECT_EQ(pool.provision_failures(), 1u);
+  // Within capacity everything still works.
+  EXPECT_EQ(coord.request(a, 6, 1.0), 6);
+  rig.backend.pump();
+  EXPECT_EQ(pool.effective_lp(), 6);
+  coord.release(a);
+  pool.set_backend(nullptr);
+}
+
+TEST(Coordinator, PermanentProvisionFailureNeverStrandsBudget) {
+  FakeFaultPlan plan;
+  plan.fail_next_provisions = 1000;  // provisioning never succeeds
+  RemoteRig rig(plan);
+  ResizableThreadPool pool(2, 8);
+  pool.set_backend(&rig.backend);
+  LpBudgetCoordinator coord(pool, 8);
+  const int a = coord.register_tenant("a");
+  coord.arm_tenant(a);
+  for (int round = 0; round < 3; ++round) {
+    coord.request(a, 6, 1.0);  // keeps retrying, keeps failing
+    rig.backend.pump();
+    EXPECT_EQ(coord.granted(a), 2) << "round " << round;
+    EXPECT_EQ(coord.total_granted(), 2) << "round " << round;
+    EXPECT_EQ(pool.target_lp(), 2) << "round " << round;
+  }
+  EXPECT_EQ(pool.provision_failures(), 3u);
+  coord.release(a);
+  EXPECT_EQ(coord.total_granted(), 0);  // release still returns everything
+  pool.set_backend(nullptr);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
+#include "runtime/worker_backend.hpp"
 
 namespace askel {
 namespace {
@@ -492,6 +493,60 @@ TEST(ThreadPool, GrantDeficitOutranksSurplusTenant) {
   pool.wait_idle();
   ASSERT_EQ(order.size(), 3u);
   EXPECT_EQ(order[0], 1);  // granted tenant served first
+}
+
+TEST(ThreadPool, TenantOrderingKnobControlsDispatchOrder) {
+  // One worker, blocked on an untagged gate task while tagged tasks queue
+  // up in tenant 7's run queue — releasing the gate then drains the queue
+  // in exactly the order the knob dictates.
+  ResizableThreadPool pool(1, 1);
+  std::mutex order_mu;
+  std::vector<int> order;
+  const auto record = [&](int k) {
+    std::lock_guard lock(order_mu);
+    order.push_back(k);
+  };
+  const auto run_tagged = [&](TenantOrdering ordering) {
+    {
+      std::lock_guard lock(order_mu);
+      order.clear();
+    }
+    pool.set_tenant_ordering(7, ordering);
+    std::atomic<bool> gate_running{false};
+    std::atomic<bool> release{false};
+    pool.submit([&] {
+      gate_running.store(true);
+      while (!release.load()) std::this_thread::sleep_for(1ms);
+    });
+    while (!gate_running.load()) std::this_thread::sleep_for(1ms);
+    for (int k = 1; k <= 3; ++k) {
+      pool.submit([&record, k] { record(k); }, /*tenant=*/7);
+    }
+    release.store(true);
+    pool.wait_idle();
+    std::lock_guard lock(order_mu);
+    return order;
+  };
+  EXPECT_EQ(run_tagged(TenantOrdering::kFifo), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(pool.tenant_ordering(7), TenantOrdering::kFifo);
+  EXPECT_EQ(run_tagged(TenantOrdering::kLifo), (std::vector<int>{3, 2, 1}));
+  // Retirement resets the knob: a recycled id starts at the default again.
+  EXPECT_TRUE(pool.retire_tenant(7));
+  EXPECT_EQ(pool.tenant_ordering(7), TenantOrdering::kLifo);
+}
+
+TEST(ThreadPool, DefaultBackendIsThreadAndResettable) {
+  ResizableThreadPool pool(1, 2);
+  ASSERT_NE(pool.backend(), nullptr);
+  EXPECT_STREQ(pool.backend()->name(), "thread");
+  EXPECT_FALSE(pool.backend()->remote());
+  EXPECT_EQ(pool.provision_failures(), 0u);
+  pool.set_backend(nullptr);  // no-op: already the built-in default
+  EXPECT_STREQ(pool.backend()->name(), "thread");
+  std::atomic<int> done{0};
+  pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 1);
 }
 
 }  // namespace

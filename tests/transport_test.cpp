@@ -1,0 +1,396 @@
+// The deterministic fault-injection suite for the remote-worker transport:
+// wire framing, seeded FakeTransport replay (golden trace), and every
+// injected failure mode — slow provision, failed provision, crash-on-Nth,
+// dropped / duplicated / reordered completions, partitions — driven against
+// the SAME RemoteWorkerBackend session machine the subprocess transport
+// uses, under a ManualClock with manual pumping (no real threads, no sleeps:
+// every run replays bit-identically).
+//
+// The invariants each fault must preserve:
+//   * no lost task: leases == completes + losses_recovered, always;
+//   * no double-close: duplicated/stale completions are counted + ignored;
+//   * no wedged pool: a failed grow reverts target_lp to effective_lp;
+//   * no stranded grant: the coordinator claws back LP that never joined.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "autonomic/controller.hpp"
+#include "autonomic/coordinator.hpp"
+#include "est/registry.hpp"
+#include "runtime/fake_transport.hpp"
+#include "runtime/remote_backend.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/transport.hpp"
+#include "sm/tracker_set.hpp"
+#include "util/clock.hpp"
+
+namespace askel {
+namespace {
+
+// ---------------------------------------------------------------- framing --
+
+TEST(WireFrame, RoundTripsEveryField) {
+  const WireFrame f{WireFrameType::kSubmit, 7, 0x0123456789ABCDEFull,
+                    42, 0xFFFFFFFFFFFFFFFFull};
+  const WireFrameBytes bytes = encode_frame(f);
+  WireFrame back;
+  ASSERT_TRUE(decode_frame(bytes.data(), bytes.size(), back));
+  EXPECT_EQ(back, f);
+}
+
+TEST(WireFrame, GoldenBytesAreLittleEndianAndStable) {
+  // The wire format is a protocol: these bytes must never change.
+  const WireFrame f{WireFrameType::kComplete, 0x01020304u, 0x1122334455667788ull,
+                    1, 2};
+  const WireFrameBytes b = encode_frame(f);
+  const std::uint8_t expected[kWireFrameSize] = {
+      29, 0, 0, 0,                               // payload length
+      3,                                         // kComplete
+      0x04, 0x03, 0x02, 0x01,                    // worker
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // seq
+      1, 0, 0, 0, 0, 0, 0, 0,                    // a
+      2, 0, 0, 0, 0, 0, 0, 0,                    // b
+  };
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), expected));
+}
+
+TEST(WireFrame, DecodeRejectsGarbage) {
+  WireFrame out;
+  EXPECT_FALSE(decode_frame(nullptr, kWireFrameSize, out));
+  WireFrameBytes b = encode_frame(WireFrame{});
+  EXPECT_FALSE(decode_frame(b.data(), b.size() - 1, out));  // short
+  b[4] = 0;                                                 // unknown type
+  EXPECT_FALSE(decode_frame(b.data(), b.size(), out));
+  b = encode_frame(WireFrame{});
+  b[0] = 17;  // wrong length prefix
+  EXPECT_FALSE(decode_frame(b.data(), b.size(), out));
+}
+
+// ----------------------------------------------------------- test harness --
+
+struct Remote {
+  ManualClock clock;
+  FakeTransportFactory factory;
+  RemoteWorkerBackend backend;
+
+  explicit Remote(FakeFaultPlan plan, int max_workers = 8,
+                  Duration connect_timeout = 100.0)
+      : factory(std::move(plan), &clock),
+        backend(factory, config(&clock, max_workers, connect_timeout)) {
+    backend.bind([](int, bool) {});
+  }
+
+  static RemoteBackendConfig config(const Clock* clock, int max_workers,
+                                    Duration connect_timeout) {
+    RemoteBackendConfig rc;
+    rc.max_workers = max_workers;
+    rc.connect_timeout = connect_timeout;
+    rc.manual_pump = true;
+    rc.clock = clock;
+    rc.name = "fake";
+    return rc;
+  }
+
+  /// Provision workers [0, n) and pump the joins through.
+  void join(int n) {
+    ASSERT_NE(backend.provision(0, n), WorkerBackend::Provision::kFailed);
+    backend.pump();
+  }
+};
+
+// ------------------------------------------------------------ fault modes --
+
+TEST(FakeTransport, SlowProvisionJoinsOnlyAfterLatency) {
+  FakeFaultPlan plan;
+  plan.provision_latency = 0.5;
+  Remote r(plan);
+  EXPECT_EQ(r.backend.provision(0, 2), WorkerBackend::Provision::kPending);
+  r.backend.pump();
+  EXPECT_EQ(r.backend.live_sessions(), 0);  // still joining
+  r.clock.advance(0.4);
+  r.backend.pump();
+  EXPECT_EQ(r.backend.live_sessions(), 0);
+  r.clock.advance(0.2);  // past the latency
+  r.backend.pump();
+  EXPECT_EQ(r.backend.live_sessions(), 2);
+}
+
+TEST(FakeTransport, ProvisionTimesOutWhenWorkersNeverJoin) {
+  FakeFaultPlan plan;
+  plan.provision_latency = 60.0;  // beyond the connect deadline
+  Remote r(plan, /*max_workers=*/8, /*connect_timeout=*/1.0);
+  bool ok = true;
+  int target = 0;
+  r.backend.bind([&](int t, bool o) {
+    target = t;
+    ok = o;
+  });
+  EXPECT_EQ(r.backend.provision(0, 2), WorkerBackend::Provision::kPending);
+  r.clock.advance(2.0);  // connect_timeout passes, latency does not
+  r.backend.pump();
+  EXPECT_EQ(target, 2);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(r.backend.stats().provision_failures, 1u);
+}
+
+TEST(FakeTransport, RepeatedProvisionDoesNotSlideConnectDeadline) {
+  // A coordinator re-arbitrates every few hundred ms, re-issuing the same
+  // pool target. The connect deadline must anchor at the FIRST request, or
+  // a stuck join never times out and the failure never surfaces.
+  FakeFaultPlan plan;
+  plan.provision_latency = 60.0;  // never joins within the deadline
+  Remote r(plan, /*max_workers=*/8, /*connect_timeout=*/1.0);
+  bool ok = true;
+  r.backend.bind([&](int, bool o) { ok = o; });
+  EXPECT_EQ(r.backend.provision(0, 2), WorkerBackend::Provision::kPending);
+  r.backend.pump();  // join clock starts at t=0
+  r.clock.advance(0.6);
+  EXPECT_EQ(r.backend.provision(0, 2), WorkerBackend::Provision::kPending);
+  r.clock.advance(0.6);  // t=1.2: past the ORIGINAL deadline
+  r.backend.pump();
+  EXPECT_FALSE(ok);  // the re-request did not buy the join more time
+  EXPECT_EQ(r.backend.stats().provision_failures, 1u);
+}
+
+TEST(FakeTransport, CrashOnNthTaskRecoversLeaseAndSession) {
+  FakeFaultPlan plan;
+  plan.crash_worker = 0;
+  plan.crash_on_nth_task = 3;
+  Remote r(plan);
+  r.join(1);
+  for (int k = 1; k <= 2; ++k) {
+    const std::uint64_t lease = r.backend.task_begin(0, 0);
+    ASSERT_NE(lease, 0u);
+    r.backend.task_end(0, lease);
+  }
+  // The third submit kills the link: its completion never comes back.
+  const std::uint64_t doomed = r.backend.task_begin(0, 0);
+  ASSERT_NE(doomed, 0u);
+  r.backend.task_end(0, doomed);
+  const RemoteBackendStats s = r.backend.stats();
+  EXPECT_EQ(s.leases, 3u);
+  EXPECT_EQ(s.completes, 2u);
+  EXPECT_EQ(s.losses_recovered, 1u);  // the lease, never the task
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+  EXPECT_EQ(r.backend.live_sessions(), 0);       // torn down
+  EXPECT_EQ(r.backend.task_begin(0, 0), 0u);     // degraded to local-only
+  // Re-provisioning forks a fresh worker and the session works again.
+  r.join(1);
+  EXPECT_EQ(r.backend.live_sessions(), 1);
+  const std::uint64_t lease = r.backend.task_begin(0, 0);
+  ASSERT_NE(lease, 0u);
+  r.backend.task_end(0, lease);
+  EXPECT_EQ(r.backend.stats().completes, 3u);
+}
+
+TEST(FakeTransport, DroppedCompletionRecoversLeaseKeepsSession) {
+  FakeFaultPlan plan;
+  plan.drop_complete_every = 2;  // every 2nd completion vanishes
+  Remote r(plan);
+  r.join(1);
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t lease = r.backend.task_begin(0, 0);
+    ASSERT_NE(lease, 0u);
+    r.backend.task_end(0, lease);
+  }
+  const RemoteBackendStats s = r.backend.stats();
+  EXPECT_EQ(s.leases, 4u);
+  EXPECT_EQ(s.completes, 2u);
+  EXPECT_EQ(s.losses_recovered, 2u);
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+  EXPECT_EQ(r.backend.live_sessions(), 1);  // a drop is not a crash
+}
+
+TEST(FakeTransport, DuplicatedCompletionIsIgnoredNeverDoubleCloses) {
+  FakeFaultPlan plan;
+  plan.dup_complete_every = 1;  // every completion delivered twice
+  Remote r(plan);
+  r.join(1);
+  for (int k = 0; k < 3; ++k) {
+    const std::uint64_t lease = r.backend.task_begin(0, 0);
+    ASSERT_NE(lease, 0u);
+    r.backend.task_end(0, lease);
+    r.clock.advance(0.001);  // the duplicate (due +1us) becomes deliverable
+  }
+  const RemoteBackendStats s = r.backend.stats();
+  EXPECT_EQ(s.leases, 3u);
+  EXPECT_EQ(s.completes, 3u);
+  EXPECT_EQ(s.losses_recovered, 0u);
+  EXPECT_GE(s.ignored_completes, 2u);  // the duplicates surfaced and died
+}
+
+TEST(FakeTransport, ReorderedCompletionArrivesStaleAndIsIgnored) {
+  FakeFaultPlan plan;
+  plan.reorder_complete_every = 2;  // every 2nd completion held back
+  Remote r(plan);
+  r.join(1);
+  // Lease 1 completes normally.
+  std::uint64_t lease = r.backend.task_begin(0, 0);
+  r.backend.task_end(0, lease);
+  // Lease 2's completion is held: recovered at the deadline, link intact.
+  lease = r.backend.task_begin(0, 0);
+  r.backend.task_end(0, lease);
+  // Lease 3 releases the held frame AFTER its own: 3 completes; the stale 2
+  // surfaces during lease 4 (itself held — every 2nd — and recovered).
+  lease = r.backend.task_begin(0, 0);
+  r.backend.task_end(0, lease);
+  r.clock.advance(0.001);
+  lease = r.backend.task_begin(0, 0);
+  r.backend.task_end(0, lease);
+  const RemoteBackendStats s = r.backend.stats();
+  EXPECT_EQ(s.leases, 4u);
+  EXPECT_EQ(s.completes, 2u);
+  EXPECT_EQ(s.losses_recovered, 2u);
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+  EXPECT_GE(s.ignored_completes, 1u);  // the stale seq=2 delivery
+}
+
+TEST(FakeTransport, PartitionIsDetectedByProbeAndHealsOnReprovision) {
+  FakeFaultPlan plan;
+  plan.partitions = {{1.0, 2.0}};
+  Remote r(plan);
+  r.join(1);
+  EXPECT_TRUE(r.backend.probe(0));  // t=0: healthy
+  r.clock.set(1.5);                 // inside the blackout
+  EXPECT_FALSE(r.backend.probe(0));
+  EXPECT_EQ(r.backend.live_sessions(), 0);  // declared lost
+  EXPECT_GE(r.backend.stats().sessions_lost, 1u);
+  r.clock.set(2.5);  // partition over: the worker re-joins
+  r.join(1);
+  EXPECT_TRUE(r.backend.probe(0));
+}
+
+// ------------------------------------------- pool + coordinator integration --
+
+TEST(FakeTransport, FailedGrowNeverWedgesThePool) {
+  FakeFaultPlan plan;
+  plan.fail_next_provisions = 1;
+  Remote r(plan);
+  ResizableThreadPool pool(1, 8);
+  pool.set_backend(&r.backend);
+  int handler_target = 0, handler_effective = -1;
+  pool.set_provision_failure_handler([&](int target, int effective) {
+    handler_target = target;
+    handler_effective = effective;
+  });
+  EXPECT_EQ(pool.set_target_lp(4), 4);
+  EXPECT_EQ(pool.effective_lp(), 1);  // join pending
+  r.backend.pump();                   // the join fails
+  EXPECT_EQ(pool.target_lp(), 1);     // request abandoned: no phantom pending
+  EXPECT_EQ(pool.effective_lp(), 1);
+  EXPECT_EQ(pool.provision_failures(), 1u);
+  EXPECT_EQ(handler_target, 4);
+  EXPECT_EQ(handler_effective, 1);
+  // The failure is not sticky: the next grow provisions fine.
+  EXPECT_EQ(pool.set_target_lp(4), 4);
+  r.backend.pump();
+  EXPECT_EQ(pool.effective_lp(), 4);
+  EXPECT_EQ(pool.provision_failures(), 1u);
+  pool.set_backend(nullptr);  // detach before the backend dies
+}
+
+TEST(FakeTransport, SlowProvisionDelaysEffectiveLpThroughThePool) {
+  FakeFaultPlan plan;
+  plan.provision_latency = 0.25;
+  Remote r(plan);
+  ResizableThreadPool pool(1, 8);
+  pool.set_backend(&r.backend);
+  EXPECT_EQ(pool.set_target_lp(3), 3);
+  EXPECT_EQ(pool.target_lp(), 3);
+  EXPECT_EQ(pool.effective_lp(), 1);
+  r.backend.pump();  // the join clocks start ticking
+  EXPECT_EQ(pool.effective_lp(), 1);
+  r.clock.advance(0.3);
+  r.backend.pump();
+  EXPECT_EQ(pool.effective_lp(), 3);
+  pool.set_backend(nullptr);
+}
+
+TEST(FakeTransport, ControllerSurfacesProvisionFailure) {
+  FakeFaultPlan plan;
+  plan.fail_next_provisions = 1;
+  Remote r(plan);
+  ResizableThreadPool pool(1, 8);
+  pool.set_backend(&r.backend);
+  EstimateRegistry reg(0.5);
+  TrackerSet trackers(reg);
+  AutonomicController controller(pool, trackers);
+  controller.arm(/*wct_goal_seconds=*/1.0);
+  EXPECT_EQ(pool.set_target_lp(4), 4);
+  r.backend.pump();  // the grow fails
+  controller.evaluate_now();
+  const auto actions = controller.actions();
+  ASSERT_FALSE(actions.empty());
+  EXPECT_EQ(actions.front().reason, DecisionReason::kProvisionFailed);
+  EXPECT_EQ(actions.front().from_lp, actions.front().to_lp);  // marker
+  controller.disarm();
+  pool.set_backend(nullptr);
+}
+
+// --------------------------------------------------- golden determinism ----
+
+/// One fixed scripted session: joins, every completion fault, a partition
+/// probe. Returns the factory trace + hash.
+std::pair<std::vector<std::string>, std::uint64_t> golden_run() {
+  FakeFaultPlan plan;
+  plan.seed = 42;
+  plan.provision_latency = 0.125;
+  plan.complete_latency = 0.01;
+  plan.complete_jitter = 0.005;
+  plan.drop_complete_every = 5;
+  plan.dup_complete_every = 3;
+  plan.reorder_complete_every = 4;
+  plan.crash_worker = 1;
+  plan.crash_on_nth_task = 7;
+  plan.partitions = {{2.0, 2.5}};
+  Remote r(plan, /*max_workers=*/4);
+  r.backend.provision(0, 2);
+  r.backend.pump();  // join clocks start
+  r.clock.advance(0.2);
+  r.backend.pump();  // both workers joined
+  for (int round = 0; round < 10; ++round) {
+    for (int w = 0; w < 2; ++w) {
+      const std::uint64_t lease =
+          r.backend.task_begin(w, static_cast<std::uint64_t>(round));
+      r.clock.advance(0.02);  // past service + jitter
+      r.backend.task_end(w, lease);
+    }
+  }
+  r.clock.set(2.25);  // inside the partition
+  r.backend.probe(0);
+  r.clock.set(3.0);
+  r.backend.provision(0, 2);  // heal
+  r.backend.pump();
+  r.backend.probe(0);
+  return {r.factory.trace(), r.factory.trace_hash()};
+}
+
+TEST(FakeTransport, SeededFaultScheduleReplaysByteIdentically) {
+  const auto [trace_a, hash_a] = golden_run();
+  const auto [trace_b, hash_b] = golden_run();
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(hash_a, hash_b);
+  EXPECT_FALSE(trace_a.empty());
+}
+
+TEST(FakeTransport, GoldenTraceHashIsPlatformStable) {
+  // Pinned value: integer-microsecond timestamps + SplitMix64 jitter, no
+  // floating-point in the trace — the hash must match on every platform.
+  // If a DELIBERATE fake-transport change lands, re-pin via the printout.
+  const auto [trace, hash] = golden_run();
+  constexpr std::uint64_t kGoldenHash = 0xc4bc2cbb3b7f54bcull;
+  if (hash != kGoldenHash) {
+    std::string joined;
+    for (const std::string& line : trace) joined += line + "\n";
+    ADD_FAILURE() << "golden trace hash changed: 0x" << std::hex << hash
+                  << "\ntrace:\n"
+                  << joined;
+  }
+}
+
+}  // namespace
+}  // namespace askel
