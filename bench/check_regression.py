@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh bench JSON against the checked-in
+baseline and fail on a >25% regression of the snapshot / injection metrics.
+
+Usage: bench/check_regression.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+The compared quantities are dimensionless within-run ratios, not absolute
+ns/ops numbers: CI runners and dev boxes differ in clock speed by far more
+than any real regression, but (for example) "incremental snapshot with one
+dirty shard vs full rebuild on the same machine in the same run" is
+machine-independent. A metric missing from either file (e.g. micro_bench
+unavailable) is reported and skipped, not failed — the bench-smoke job's
+purpose is catching real regressions, not flaking on environment gaps.
+"""
+
+import argparse
+import json
+import sys
+
+
+def get(d, *path):
+    for p in path:
+        if d is None:
+            return None
+        if isinstance(p, int):
+            d = d[p] if isinstance(d, list) and len(d) > p else None
+        else:
+            d = d.get(p) if isinstance(d, dict) else None
+    return d
+
+
+def ratio(num, den):
+    if num is None or den is None or not den:
+        return None
+    return num / den
+
+
+def snapshot_incremental(d):
+    """One dirty shard of 128 muscles vs all shards dirty. Lower is better."""
+    return ratio(get(d, "estimate_snapshot_ns", "dirty_128"),
+                 get(d, "estimate_snapshot_ns", "dirty_all_128"))
+
+
+def snapshot_clean(d):
+    """Clean (cached) snapshot vs the one-dirty-shard rebuild. Lower is better."""
+    return ratio(get(d, "estimate_snapshot_ns", "clean_128"),
+                 get(d, "estimate_snapshot_ns", "dirty_128"))
+
+
+def lease_batch_speedup(d):
+    """Batched (K=16) remote bracket throughput vs K=1. Higher is better."""
+    for row in get(d, "transport", "lease_batching") or []:
+        if row.get("lease_batch") == 16:
+            return row.get("speedup_vs_k1")
+    return None
+
+
+def inject_contended(d):
+    """4-producer contended injection vs single-submitter drain. Higher is better."""
+    return ratio(get(d, "pool_tasks_per_sec", "inject_contended_4"),
+                 get(d, "pool_tasks_per_sec", "submit_drain_lp2"))
+
+
+# (name, extractor, higher_is_better)
+METRICS = [
+    ("snapshot_incremental_vs_full", snapshot_incremental, False),
+    ("snapshot_clean_vs_dirty", snapshot_clean, False),
+    ("lease_batching_k16_speedup", lease_batch_speedup, True),
+    ("inject_contended_vs_single", inject_contended, True),
+]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    args = ap.parse_args()
+
+    base = json.load(open(args.baseline))
+    cur = json.load(open(args.current))
+
+    failures = []
+    for name, extract, higher_better in METRICS:
+        b, c = extract(base), extract(cur)
+        if b is None or c is None or b <= 0:
+            print(f"SKIP {name}: baseline={b} current={c}")
+            continue
+        change = (c - b) / b
+        if higher_better:
+            regressed = change < -args.tolerance
+        else:
+            regressed = change > args.tolerance
+        verdict = "FAIL" if regressed else "ok"
+        print(f"{verdict:4} {name}: baseline={b:.4f} current={c:.4f} "
+              f"change={change:+.1%} (tolerance ±{args.tolerance:.0%}, "
+              f"{'higher' if higher_better else 'lower'} is better)")
+        if regressed:
+            failures.append(name)
+
+    if failures:
+        print(f"\nregressions beyond tolerance: {', '.join(failures)}")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

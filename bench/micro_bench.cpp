@@ -214,8 +214,9 @@ void BM_EstimateSnapshot_Clean(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateSnapshot_Clean)->Arg(16)->Arg(128)->Arg(1024);
 
-// Write-then-snapshot: the cache is invalidated each iteration, so this is
-// the honest O(muscles) rebuild cost both before and after.
+// Write-then-snapshot with ONE dirty muscle: under the sharded registry the
+// rebuild touches only that muscle's fragment and splices the other
+// kEstimateFragments-1 by shared_ptr bump — O(dirty), not O(muscles).
 void BM_EstimateSnapshot_Dirty(benchmark::State& state) {
   EstimateRegistry reg(0.5);
   for (int m = 0; m < static_cast<int>(state.range(0)); ++m) {
@@ -227,6 +228,23 @@ void BM_EstimateSnapshot_Dirty(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimateSnapshot_Dirty)->Arg(16)->Arg(128);
+
+// Every shard dirty between snapshots (one write per fragment): the honest
+// full-rebuild bound the incremental path degrades to when everything moved.
+void BM_EstimateSnapshot_DirtyAll(benchmark::State& state) {
+  EstimateRegistry reg(0.5);
+  const int muscles = static_cast<int>(state.range(0));
+  for (int m = 0; m < muscles; ++m) reg.observe_duration(m, 1.0);
+  for (auto _ : state) {
+    // Muscle id m lands in fragment m % kEstimateFragments, so ids
+    // 0..kEstimateFragments-1 dirty every shard.
+    for (int m = 0; m < static_cast<int>(kEstimateFragments); ++m) {
+      reg.observe_duration(m, 1.0);
+    }
+    benchmark::DoNotOptimize(reg.snapshot().size());
+  }
+}
+BENCHMARK(BM_EstimateSnapshot_DirtyAll)->Arg(128);
 
 // ---------------------------------------------------------------- runtime --
 
@@ -249,6 +267,25 @@ void BM_PoolSubmitDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_PoolSubmitDrain);
+
+// External injection under multi-producer contention: 4 threads push batches
+// through the lock-free MPSC injection path and wait for the drain. The
+// previous design serialized every external submit (and every worker's drain
+// probe) on one inject mutex, so producers convoyed exactly here.
+void BM_PoolInjectDrain_Contended(benchmark::State& state) {
+  static ResizableThreadPool* pool = nullptr;
+  if (state.thread_index() == 0) pool = new ResizableThreadPool(2, 2);
+  for (auto _ : state) {
+    for (int k = 0; k < 16; ++k) pool->submit([] {});
+    pool->wait_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  if (state.thread_index() == 0) {
+    delete pool;
+    pool = nullptr;
+  }
+}
+BENCHMARK(BM_PoolInjectDrain_Contended)->Threads(4)->UseRealTime();
 
 // Task churn at a given LP: roots fan out children from inside worker
 // threads, the shape of a Map/DaC expansion. With a single global mutex every

@@ -19,6 +19,11 @@
 //
 // Usage: multi_tenant [--smoke] [--scale X] [--budget N]
 //                     [--policy pressure|weighted] [--scenario staggered|aggressor]
+//                     [--zipf-skew S]
+//
+// --zipf-skew S > 0 skews per-tenant traffic volume by Zipf popularity rank
+// (tenant 0 hottest) instead of the uniform split; 0 (default) keeps the
+// historical uniform traffic. See benchharness::tenant_popularity_weights.
 
 #include <atomic>
 #include <cstring>
@@ -29,6 +34,7 @@
 #include <vector>
 
 #include "autonomic/coordinator.hpp"
+#include "scenario_common.hpp"
 #include "util/csv.hpp"
 #include "workload/wordcount.hpp"
 
@@ -64,12 +70,17 @@ std::unique_ptr<ArbitrationPolicy> make_policy(const std::string& name) {
 // ------------------------------------------------------------- staggered --
 
 int run_staggered(bool smoke, double scale, int budget,
-                  const std::string& policy) {
+                  const std::string& policy, double zipf_skew) {
   PaperTimings timings;
   timings.scale = scale;
   constexpr int kTenants = 4;
   const int fair_share = std::max(1, budget / kTenants);
   const double fair_wct_paper = wct_at_lp(timings, fair_share);
+  // Tenant-popularity skew: hot tenants carry proportionally more corpus
+  // (traffic volume); the simulated muscle timings — and therefore the
+  // goal-feasibility bound above — are unchanged.
+  const std::vector<double> popularity =
+      benchharness::tenant_popularity_weights(kTenants, zipf_skew);
 
   // Goals in paper-scale seconds. 1-3 clear the fair-share bound with >=25%
   // slack; tenant 4 is deliberately under it (needs extra LP => pressure).
@@ -91,7 +102,9 @@ int run_staggered(bool smoke, double scale, int budget,
       std::this_thread::sleep_for(std::chrono::duration<double>(stagger * k));
       ScenarioConfig cfg;
       cfg.timings = timings;
-      cfg.corpus.num_tweets = smoke ? 200 : 800;
+      const double base_tweets = smoke ? 200.0 : 800.0;
+      cfg.corpus.num_tweets = static_cast<std::size_t>(std::max(
+          1.0, base_tweets * popularity[static_cast<std::size_t>(k)]));
       cfg.wct_goal = specs[static_cast<std::size_t>(k)].goal;
       cfg.max_lp = 16;
       cfg.shared_pool = &pool;
@@ -120,6 +133,7 @@ int run_staggered(bool smoke, double scale, int budget,
   std::cout << "  \"fair_share_lp\": " << fair_share << ",\n";
   std::cout << "  \"fair_share_wct_paper_s\": " << fmt(fair_wct_paper, 3) << ",\n";
   std::cout << "  \"scale\": " << fmt(scale, 4) << ",\n";
+  std::cout << "  \"zipf_skew\": " << fmt(zipf_skew, 2) << ",\n";
   std::cout << "  \"smoke\": " << json_bool(smoke) << ",\n";
   std::cout << "  \"peak_total_granted\": " << peak_total << ",\n";
   std::cout << "  \"budget_held\": " << json_bool(budget_held) << ",\n";
@@ -131,6 +145,8 @@ int run_staggered(bool smoke, double scale, int budget,
     const TenantSpec& s = specs[static_cast<std::size_t>(k)];
     std::cout << "    {\"goal_s\": " << fmt(r.goal, 3)
               << ", \"wct_s\": " << fmt(r.wct, 3)
+              << ", \"popularity\": "
+              << fmt(popularity[static_cast<std::size_t>(k)], 3)
               << ", \"goal_met\": " << json_bool(r.goal_met)
               << ", \"feasible_at_fair_share\": "
               << json_bool(s.feasible_at_fair_share)
@@ -298,6 +314,7 @@ int run_aggressor(bool smoke, double scale, int budget) {
 int main(int argc, char** argv) {
   bool smoke = false;
   double scale = 0.05;
+  double zipf_skew = 0.0;
   int budget = -1;
   std::string policy = "pressure";
   std::string scenario = "staggered";
@@ -312,6 +329,8 @@ int main(int argc, char** argv) {
       policy = argv[++k];
     } else if (std::strcmp(argv[k], "--scenario") == 0 && k + 1 < argc) {
       scenario = argv[++k];
+    } else if (std::strcmp(argv[k], "--zipf-skew") == 0 && k + 1 < argc) {
+      zipf_skew = std::atof(argv[++k]);
     }
   }
   if (scale <= 0.0) scale = 0.05;  // atof garbage => defaults, not div-by-0
@@ -322,5 +341,5 @@ int main(int argc, char** argv) {
     return run_aggressor(smoke, scale, budget);
   }
   if (budget < 1) budget = 8;
-  return run_staggered(smoke, scale, budget, policy);
+  return run_staggered(smoke, scale, budget, policy, zipf_skew);
 }

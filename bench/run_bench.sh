@@ -14,16 +14,21 @@
 #     deterministic bursty-stream accuracy ranking,
 #   * transport/backend comparison (PR 5): real subprocess-worker join
 #     latency vs the simulated provision delay, the per-task transport
-#     bracket cost, and fig5 under --backend thread vs subprocess.
+#     bracket cost, and fig5 under --backend thread vs subprocess,
+#   * raw-speed pass (PR 6): incremental-snapshot cost (one dirty shard vs
+#     all shards dirty), the lease-batching sweep (K in {1,4,16,64}), the
+#     injection-queue comparison (retired mutex+deque vs lock-free MPSC)
+#     and the per-LP scaling curve. Multi-tenant staggered traffic is now
+#     Zipf-skewed (--zipf-skew 1.1) instead of uniform.
 # The per-scenario raw JSONs are kept next to the output
 # (<out>.pressure.json / <out>.weighted.json / <out>.aggressor.json /
-# <out>.estimators.json / <out>.transport.json) so CI can upload each
-# artifact individually.
+# <out>.estimators.json / <out>.transport.json / <out>.scaling.json) so CI
+# can upload each artifact individually.
 #
 # Usage: bench/run_bench.sh [--smoke] [output.json]
 #   --smoke: CI smoke mode — tiny iteration counts, no timing assertions;
 #            proves the bench pipeline runs and uploads an inspectable JSON.
-#   default output: BENCH_PR5.json in cwd.
+#   default output: BENCH_PR6.json in cwd.
 
 set -euo pipefail
 
@@ -35,7 +40,7 @@ for arg in "$@"; do
     *) out_json="${arg}" ;;
   esac
 done
-out_json="${out_json:-BENCH_PR5.json}"
+out_json="${out_json:-BENCH_PR6.json}"
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
@@ -43,7 +48,7 @@ build_dir="${repo_root}/build-bench"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
       -DASKEL_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${build_dir}" -j"$(nproc)" --target wct_algorithms multi_tenant \
-      transport_bench \
+      transport_bench scaling_bench \
       >/dev/null
 
 micro_ok=1
@@ -61,6 +66,7 @@ mt_weighted_json="${out_json%.json}.weighted.json"
 mt_aggressor_json="${out_json%.json}.aggressor.json"
 est_ab_json="${out_json%.json}.estimators.json"
 transport_json="${out_json%.json}.transport.json"
+scaling_json="${out_json%.json}.scaling.json"
 trap 'rm -f "${raw_json}"' EXIT
 
 min_time=0.2
@@ -68,7 +74,7 @@ min_time=0.2
 
 if [[ ${micro_ok} -eq 1 ]]; then
   "${build_dir}/micro_bench" \
-    --benchmark_filter='BM_EventDispatch|BM_PoolChurn|BM_PoolSubmitDrain|BM_EstimateSnapshot' \
+    --benchmark_filter='BM_EventDispatch|BM_PoolChurn|BM_PoolSubmitDrain|BM_PoolInjectDrain|BM_EstimateSnapshot' \
     --benchmark_min_time="${min_time}" \
     --benchmark_format=json > "${raw_json}"
 else
@@ -83,9 +89,9 @@ fi
 mt_args=()
 [[ ${smoke} -eq 1 ]] && mt_args+=(--smoke)
 "${build_dir}/multi_tenant" "${mt_args[@]+"${mt_args[@]}"}" \
-  --policy pressure > "${mt_pressure_json}"
+  --policy pressure --zipf-skew 1.1 > "${mt_pressure_json}"
 "${build_dir}/multi_tenant" "${mt_args[@]+"${mt_args[@]}"}" \
-  --policy weighted > "${mt_weighted_json}"
+  --policy weighted --zipf-skew 1.1 > "${mt_weighted_json}"
 "${build_dir}/multi_tenant" "${mt_args[@]+"${mt_args[@]}"}" \
   --scenario aggressor > "${mt_aggressor_json}"
 
@@ -95,11 +101,19 @@ est_args=(--estimators)
 [[ ${smoke} -eq 1 ]] && est_args+=(--smoke)
 "${build_dir}/wct_algorithms" "${est_args[@]}" > "${est_ab_json}"
 
-# Transport/backend comparison (PR 5): subprocess vs thread backend.
+# Transport/backend comparison (PR 5) + lease-batching sweep (PR 6):
+# subprocess vs thread backend, and tasks/sec at lease_batch K in {1,4,16,64}.
 tb_args=()
 [[ ${smoke} -eq 1 ]] && tb_args+=(--smoke)
 "${build_dir}/transport_bench" "${tb_args[@]+"${tb_args[@]}"}" \
   > "${transport_json}"
+
+# Raw-speed scaling numbers (PR 6): injection-queue before/after and the
+# per-LP scaling curve behind docs/perf.md.
+sc_args=()
+[[ ${smoke} -eq 1 ]] && sc_args+=(--smoke)
+"${build_dir}/scaling_bench" "${sc_args[@]+"${sc_args[@]}"}" \
+  > "${scaling_json}"
 
 # WCT algorithm comparison rides along for the scheduling-cost trajectory
 # (skipped in smoke mode: it is the slowest piece and purely informational).
@@ -109,7 +123,7 @@ fi
 
 python3 - "${raw_json}" "${mt_pressure_json}" "${mt_weighted_json}" \
   "${mt_aggressor_json}" "${out_json}" "${smoke}" "${est_ab_json}" \
-  "${transport_json}" <<'EOF'
+  "${transport_json}" "${scaling_json}" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
@@ -118,6 +132,7 @@ mt_weighted = json.load(open(sys.argv[3]))
 mt_aggressor = json.load(open(sys.argv[4]))
 estimator_ab = json.load(open(sys.argv[7]))
 transport = json.load(open(sys.argv[8]))
+scaling = json.load(open(sys.argv[9]))
 by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
 
 def ns(name):
@@ -129,7 +144,7 @@ def items_per_sec(name):
     return round(b["items_per_second"]) if b and "items_per_second" in b else None
 
 out = {
-    "pr": 5,
+    "pr": 6,
     "smoke": sys.argv[6] == "1",
     "context": raw.get("context", {}),
     "event_dispatch_ns": {
@@ -141,6 +156,8 @@ out = {
     },
     "pool_tasks_per_sec": {
         "submit_drain_lp2": items_per_sec("BM_PoolSubmitDrain"),
+        "inject_contended_4": items_per_sec(
+            "BM_PoolInjectDrain_Contended/real_time/threads:4"),
         "churn_lp1": items_per_sec("BM_PoolChurn/1/real_time"),
         "churn_lp4": items_per_sec("BM_PoolChurn/4/real_time"),
         "churn_lp8": items_per_sec("BM_PoolChurn/8/real_time"),
@@ -151,6 +168,7 @@ out = {
         "clean_1024": ns("BM_EstimateSnapshot_Clean/1024"),
         "dirty_16": ns("BM_EstimateSnapshot_Dirty/16"),
         "dirty_128": ns("BM_EstimateSnapshot_Dirty/128"),
+        "dirty_all_128": ns("BM_EstimateSnapshot_DirtyAll/128"),
     },
     "multi_tenant": {
         "staggered_pressure": mt_pressure,
@@ -159,6 +177,7 @@ out = {
     },
     "estimator_ab": estimator_ab,
     "transport": transport,
+    "scaling": scaling,
 }
 json.dump(out, open(sys.argv[5], "w"), indent=2)
 print(f"wrote {sys.argv[5]}")

@@ -10,11 +10,29 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "util/csv.hpp"
+#include "util/zipf.hpp"
 #include "workload/wordcount.hpp"
 
 namespace askel::benchharness {
+
+/// Per-tenant traffic weights from a Zipf popularity distribution: tenant k
+/// (rank k) gets weight proportional to 1/(k+1)^skew, normalised so the mean
+/// weight is 1.0 (total traffic is preserved, only its spread changes).
+/// skew <= 0 returns all-ones — the uniform traffic the contended benches
+/// used before this knob existed. Deterministic: built from the exact pmf,
+/// no sampling, so bench JSON is reproducible run to run.
+inline std::vector<double> tenant_popularity_weights(std::size_t tenants,
+                                                     double skew) {
+  std::vector<double> w(tenants, 1.0);
+  if (skew <= 0.0 || tenants < 2) return w;
+  const ZipfDistribution dist(tenants, skew);
+  for (std::size_t k = 0; k < tenants; ++k)
+    w[k] = dist.pmf(k) * static_cast<double>(tenants);
+  return w;
+}
 
 inline ScenarioConfig parse_config(int argc, char** argv, double goal) {
   ScenarioConfig cfg;

@@ -192,6 +192,26 @@ int main(int argc, char** argv) {
     pool.set_backend(nullptr);
   }
 
+  // Lease-batching sweep (PR 6): the same 1-worker bracket churn with up to
+  // K task brackets coalesced per Submit/Complete round trip. K=1 is the
+  // legacy protocol; the curve shows how much of the bracket cost amortizes.
+  const std::vector<int> batch_ks = {1, 4, 16, 64};
+  std::vector<double> batch_tps;
+  for (const int k_batch : batch_ks) {
+    SubprocessBackendConfig cfg;
+    cfg.max_workers = 1;
+    cfg.lease_batch = k_batch;
+    SubprocessBackend backend(cfg);
+    ResizableThreadPool pool(1, 1);
+    pool.set_backend(&backend);
+    const double deadline = now_s() + 10.0;
+    while (backend.live_sessions() < 1 && now_s() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    batch_tps.push_back(measure_churn(pool, churn_tasks));
+    pool.set_backend(nullptr);
+  }
+
   const FigNumbers fig_thread = run_fig5(ScenarioBackend::kThread, scale, tweets);
   const FigNumbers fig_sub =
       run_fig5(ScenarioBackend::kSubprocess, scale, tweets);
@@ -223,6 +243,15 @@ int main(int argc, char** argv) {
   std::cout << "    \"subprocess_tasks_per_sec\": " << fmt(subprocess_tps, 0)
             << "\n";
   std::cout << "  },\n";
+  std::cout << "  \"lease_batching\": [\n";
+  for (std::size_t k = 0; k < batch_ks.size(); ++k) {
+    std::cout << "    {\"lease_batch\": " << batch_ks[k]
+              << ", \"subprocess_tasks_per_sec\": " << fmt(batch_tps[k], 0)
+              << ", \"speedup_vs_k1\": "
+              << fmt(batch_tps[0] > 0.0 ? batch_tps[k] / batch_tps[0] : 0.0, 3)
+              << "}" << (k + 1 < batch_ks.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n";
   print_fig("fig5_thread", fig_thread);
   std::cout << ",\n";
   print_fig("fig5_subprocess", fig_sub);

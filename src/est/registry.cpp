@@ -16,30 +16,54 @@ int estimate_key_depth(std::int64_t key) {
 
 // -------------------------------------------------------------- Estimates --
 
-const Estimates::Map& Estimates::map() const {
-  static const Map kEmpty;
-  return entries_ ? *entries_ : kEmpty;
+Estimates::FragArray& Estimates::mutable_frags() {
+  if (!frags_) {
+    auto fresh = std::make_shared<FragArray>();
+    FragArray& ref = *fresh;
+    frags_ = std::move(fresh);
+    return ref;
+  }
+  if (frags_.use_count() > 1) {
+    auto clone = std::make_shared<FragArray>(*frags_);  // copy-on-shared-write
+    FragArray& ref = *clone;
+    frags_ = std::move(clone);
+    return ref;
+  }
+  // Sole owner: mutate in place (same reasoning as mutable_fragment below).
+  return const_cast<FragArray&>(*frags_);
 }
 
-Estimates::Map& Estimates::mutable_map() {
-  if (!entries_) {
-    entries_ = std::make_shared<Map>();
-  } else if (entries_.use_count() > 1) {
-    entries_ = std::make_shared<Map>(*entries_);  // copy-on-shared-write
+Estimates::Map& Estimates::mutable_fragment(std::size_t i) {
+  std::shared_ptr<const Map>& frag = mutable_frags()[i];
+  if (!frag) {
+    auto fresh = std::make_shared<Map>();
+    Map& ref = *fresh;
+    frag = std::move(fresh);
+    return ref;
   }
-  return *entries_;
+  if (frag.use_count() > 1) {
+    auto clone = std::make_shared<Map>(*frag);  // copy-on-shared-write
+    Map& ref = *clone;
+    frag = std::move(clone);
+    return ref;
+  }
+  // Sole owner: mutate in place. The const in the shared_ptr type documents
+  // "immutable once shared"; with use_count()==1 nobody else can observe it.
+  return const_cast<Map&>(*frag);
 }
 
 std::optional<double> Estimates::t(int muscle_id) const {
-  const Map& m = map();
-  const auto it = m.find(estimate_key(muscle_id, kAnyDepth));
-  return it == m.end() ? std::nullopt : it->second.t;
+  const Map* m = frag_for(muscle_id);
+  if (!m) return std::nullopt;
+  const auto it = m->find(estimate_key(muscle_id, kAnyDepth));
+  return it == m->end() ? std::nullopt : it->second.t;
 }
 
 std::optional<double> Estimates::cardinality(int muscle_id) const {
-  const Map& m = map();
-  const auto it = m.find(estimate_key(muscle_id, kAnyDepth));
-  return it == m.end() ? std::nullopt : it->second.card;
+  const Map* m = frag_for(muscle_id);
+  if (!m) return std::nullopt;
+  const auto it = m->find(estimate_key(muscle_id, kAnyDepth));
+  return it == m->end() ? std::nullopt : it->second.card;
 }
 
 double Estimates::t_or(int muscle_id, double fallback) const {
@@ -52,31 +76,41 @@ double Estimates::cardinality_or(int muscle_id, double fallback) const {
 
 std::optional<double> Estimates::t(int muscle_id, int depth) const {
   if (scope_ == EstimationScope::kPerDepth) {
-    const Map& m = map();
-    const auto it = m.find(estimate_key(muscle_id, depth));
-    if (it != m.end() && it->second.t) return it->second.t;
+    if (const Map* m = frag_for(muscle_id)) {
+      const auto it = m->find(estimate_key(muscle_id, depth));
+      if (it != m->end() && it->second.t) return it->second.t;
+    }
   }
   return t(muscle_id);
 }
 
 std::optional<double> Estimates::cardinality(int muscle_id, int depth) const {
   if (scope_ == EstimationScope::kPerDepth) {
-    const Map& m = map();
-    const auto it = m.find(estimate_key(muscle_id, depth));
-    if (it != m.end() && it->second.card) return it->second.card;
+    if (const Map* m = frag_for(muscle_id)) {
+      const auto it = m->find(estimate_key(muscle_id, depth));
+      if (it != m->end() && it->second.card) return it->second.card;
+    }
   }
   return cardinality(muscle_id);
 }
 
 void Estimates::set(int muscle_id, Entry e) {
-  mutable_map()[estimate_key(muscle_id, kAnyDepth)] = e;
+  mutable_fragment(fragment_of(muscle_id))[estimate_key(muscle_id, kAnyDepth)] =
+      e;
 }
 
 void Estimates::set(int muscle_id, int depth, Entry e) {
-  mutable_map()[estimate_key(muscle_id, depth)] = e;
+  mutable_fragment(fragment_of(muscle_id))[estimate_key(muscle_id, depth)] = e;
 }
 
-void Estimates::reserve(std::size_t n) { mutable_map().reserve(n); }
+std::size_t Estimates::size() const {
+  std::size_t n = 0;
+  if (!frags_) return n;
+  for (const auto& frag : *frags_) {
+    if (frag) n += frag->size();
+  }
+  return n;
+}
 
 // ------------------------------------------------------- EstimateRegistry --
 
@@ -111,6 +145,8 @@ void EstimateRegistry::observe_duration(int muscle_id, int depth, double seconds
     stats_locked(s, estimate_key(muscle_id, kAnyDepth)).observe_duration(seconds);
     if (depth != kAnyDepth)
       stats_locked(s, estimate_key(muscle_id, depth)).observe_duration(seconds);
+    s.version.store(s.version.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
   }
   bump_version();
 }
@@ -122,6 +158,8 @@ void EstimateRegistry::observe_cardinality(int muscle_id, int depth, double card
     stats_locked(s, estimate_key(muscle_id, kAnyDepth)).observe_cardinality(card);
     if (depth != kAnyDepth)
       stats_locked(s, estimate_key(muscle_id, depth)).observe_cardinality(card);
+    s.version.store(s.version.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
   }
   bump_version();
 }
@@ -147,6 +185,8 @@ void EstimateRegistry::init_duration(int muscle_id, int depth, double seconds) {
   {
     std::lock_guard lock(s.mu);
     stats_locked(s, estimate_key(muscle_id, depth)).init_duration(seconds);
+    s.version.store(s.version.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
   }
   bump_version();
 }
@@ -156,6 +196,8 @@ void EstimateRegistry::init_cardinality(int muscle_id, int depth, double card) {
   {
     std::lock_guard lock(s.mu);
     stats_locked(s, estimate_key(muscle_id, depth)).init_cardinality(card);
+    s.version.store(s.version.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
   }
   bump_version();
 }
@@ -164,12 +206,14 @@ void EstimateRegistry::init_from(const Estimates& previous) {
   // All shards at once: readers must see the whole seeding or none of it,
   // same atomicity the old single-mutex registry gave.
   std::vector<std::unique_lock<std::mutex>> locks = lock_all_shards();
-  for (const auto& [key, entry] : previous.entries()) {
+  previous.for_each([&](std::int64_t key, const Estimates::Entry& entry) {
     Shard& s = shard_for(estimate_key_muscle(key));
     MuscleStats& st = stats_locked(s, key);
     if (entry.t) st.init_duration(*entry.t);
     if (entry.card) st.init_cardinality(*entry.card);
-  }
+    s.version.store(s.version.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+  });
   bump_version();
 }
 
@@ -221,45 +265,78 @@ std::optional<double> EstimateRegistry::cardinality(int muscle_id, int depth) co
 }
 
 Estimates EstimateRegistry::snapshot() const {
+  // Clean fast path — lock-free: nothing written since the cached snapshot
+  // was built, so return it again. One acquire load of the version, one
+  // atomic shared_ptr load, and the Estimates copy (a single refcount bump:
+  // the fragment array sits behind one shared_ptr).
+  {
+    const std::uint64_t v = version_.load(std::memory_order_acquire);
+    const std::shared_ptr<const CleanSnap> c =
+        clean_cache_.load(std::memory_order_acquire);
+    if (c && c->version == v) return c->snap;
+  }
+
+  // Rebuild path. snap_mu_ serializes rebuilders only, and it is all the
+  // protection the per-shard fragment caches need (writers never touch
+  // them). Shard mutexes are taken ONLY for the shards whose version moved —
+  // the common 1-dirty-shard rebuild pays one shard lock, not kShards.
+  //
+  // Coherence: splicing a clean shard's cached fragment without its lock
+  // risks a torn cut only if a write lands in some shard mid-build. Any such
+  // write we *observe* (by locking its shard's mutex, or by an acquire load
+  // of its bumped shard version) makes the writer's earlier global-version
+  // bumps visible too, so re-reading the global version after the build
+  // detects the overlap and retries; shards rebuilt on a discarded attempt
+  // stay cached, so the retry only splices. Two overlap retries mean
+  // sustained writer traffic — fall back to locking all shards at once,
+  // which excludes writers outright (the pre-PR 6 behavior, and the same
+  // all-or-nothing cut init_from/clear rely on).
   std::lock_guard snap_lock(snap_mu_);
-  // Clean fast path: nothing written since the cache was built — return the
-  // cached snapshot unchanged (one shared_ptr bump, no shard locks).
-  if (cache_valid_ && cached_version_ == version_.load(std::memory_order_acquire)) {
-    return cached_snapshot_;
-  }
-  // Rebuild: hold every shard lock so the snapshot is one coherent cut
-  // across muscles (writers are fully excluded while we read the version).
-  // RAII locks: a bad_alloc during the build must not leave shards locked.
-  std::vector<std::unique_lock<std::mutex>> shard_locks = lock_all_shards();
-  const std::uint64_t v = version_.load(std::memory_order_acquire);
-  Estimates out;
-  out.set_scope(scope_);
-  std::size_t total = 0;
-  for (const Shard& s : shards_) total += s.stats.size();
-  out.reserve(total);
-  for (const Shard& s : shards_) {
-    for (const auto& [key, st] : s.stats) {
-      // Reconstruct (id, depth) from the composite key.
-      const int id = estimate_key_muscle(key);
-      const int depth = estimate_key_depth(key);
-      if (depth == kAnyDepth) {
-        out.set(id, Estimates::Entry{st.t(), st.cardinality()});
-      } else {
-        out.set(id, depth, Estimates::Entry{st.t(), st.cardinality()});
+  for (int attempt = 0;; ++attempt) {
+    const bool lock_all = attempt >= 2;
+    // RAII locks: a bad_alloc during the build must not leave shards locked.
+    std::vector<std::unique_lock<std::mutex>> all_locks;
+    if (lock_all) all_locks = lock_all_shards();
+    const std::uint64_t v0 = version_.load(std::memory_order_acquire);
+    Estimates out;
+    out.set_scope(scope_);
+    for (std::size_t i = 0; i < kShards; ++i) {
+      Shard& s = shards_[i];
+      if (!s.frag ||
+          s.frag_version != s.version.load(std::memory_order_acquire)) {
+        // Dirty (or never built): rebuild this shard's fragment from
+        // scratch, under its lock unless every shard is already held.
+        std::unique_lock<std::mutex> lk;
+        if (!lock_all) lk = std::unique_lock(s.mu);
+        auto frag = std::make_shared<Estimates::Map>();
+        frag->reserve(s.stats.size());
+        for (const auto& [key, st] : s.stats) {
+          (*frag)[key] = Estimates::Entry{st.t(), st.cardinality()};
+        }
+        s.frag = std::move(frag);
+        // Exact under mu: writers bump the shard version before unlocking.
+        s.frag_version = s.version.load(std::memory_order_relaxed);
       }
+      // Clean shards splice straight in: one shared_ptr bump, zero copying.
+      out.set_fragment(i, s.frag);
     }
+    const std::uint64_t v1 = version_.load(std::memory_order_acquire);
+    if (v1 != v0 && !lock_all) continue;  // a write overlapped the build
+    clean_cache_.store(
+        std::make_shared<const CleanSnap>(CleanSnap{lock_all ? v1 : v0, out}),
+        std::memory_order_release);
+    return out;
   }
-  shard_locks.clear();
-  cached_snapshot_ = out;
-  cached_version_ = v;
-  cache_valid_ = true;
-  return out;
 }
 
 void EstimateRegistry::clear() {
   // All shards at once: a concurrent snapshot must never see half a clear.
   std::vector<std::unique_lock<std::mutex>> locks = lock_all_shards();
-  for (Shard& s : shards_) s.stats.clear();
+  for (Shard& s : shards_) {
+    s.stats.clear();
+    s.version.store(s.version.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+  }
   bump_version();
 }
 

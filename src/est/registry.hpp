@@ -18,15 +18,19 @@
 // Observations always record BOTH layers, so the scope can be chosen at
 // lookup time and snapshots carry everything.
 //
-// Concurrency layout (contention-free hot paths):
-//  * writes and point lookups lock only one of kShards muscle-id-sharded
-//    mutexes (both layers of a muscle live in the same shard), so state
-//    machines on different workers updating different muscles never contend;
-//  * every write bumps an atomic version counter;
-//  * snapshot() caches the last built `Estimates` and, while the version is
-//    unchanged, returns it again without touching the shards — O(1), no
-//    copy. `Estimates` itself is copy-on-write, so handing the cached
-//    snapshot out by value is one shared_ptr bump.
+// Concurrency layout (hot paths scale with work done, not state size):
+//  * writes and point lookups lock only one of kEstimateFragments
+//    muscle-id-sharded mutexes (both layers of a muscle live in the same
+//    shard), so state machines on different workers updating different
+//    muscles never contend;
+//  * every write bumps its shard's version (under the shard lock) and a
+//    global atomic version counter;
+//  * `Estimates` is fragmented along the same muscle-id sharding. snapshot()
+//    keeps a per-shard fragment cache: a rebuild copies only the shards
+//    written since the previous snapshot and splices every clean shard in by
+//    shared_ptr bump — O(dirty shards), not O(muscles);
+//  * the clean path (no writes at all since the last snapshot) is lock-free:
+//    one atomic version load plus a cached shared_ptr bump.
 
 #include <array>
 #include <atomic>
@@ -51,6 +55,11 @@ enum class EstimationScope : int {
 /// Depth value representing the aggregate (depth-less) layer.
 inline constexpr int kAnyDepth = -1;
 
+/// Shard fan-out shared by EstimateRegistry and Estimates. The two MUST use
+/// the same muscle-id -> shard mapping so a registry shard rebuilds exactly
+/// one snapshot fragment.
+inline constexpr std::size_t kEstimateFragments = 16;
+
 /// Composite key: (muscle id, depth). Depth kAnyDepth = aggregate layer.
 std::int64_t estimate_key(int muscle_id, int depth);
 /// Inverse of estimate_key.
@@ -59,13 +68,19 @@ int estimate_key_depth(std::int64_t key);
 
 /// Immutable value snapshot of the registry.
 ///
-/// Copy-on-write: copies share the underlying entry map (copying an
-/// Estimates is one shared_ptr bump), and a mutation on a shared instance
-/// clones the map first. This keeps snapshot() value-semantic — callers may
-/// still hold or mutate their copy freely — while making the clean-snapshot
-/// fast path O(1). Mutating one instance concurrently with copying that same
-/// instance is not supported (value semantics, same as any standard
-/// container).
+/// Internally fragmented along the registry's muscle-id sharding: each of
+/// kEstimateFragments fragments is an independently shared map, and the
+/// fragment-pointer array itself sits behind one more shared_ptr. Copying an
+/// Estimates is therefore a SINGLE refcount bump (the controller's
+/// back-to-back clean-snapshot case — atomic refcounts are lock-prefixed RMWs
+/// once the process is multithreaded, so one bump vs sixteen is measurable);
+/// a mutation copy-on-shared-writes the pointer array once and then only the
+/// one fragment the touched muscle lives in. This keeps snapshot()
+/// value-semantic — callers may still hold or mutate their copy freely —
+/// while letting the registry splice unchanged fragments between successive
+/// snapshots without copying them. Mutating one instance concurrently with
+/// copying that same instance is not supported (value semantics, same as any
+/// standard container).
 class Estimates {
  public:
   struct Entry {
@@ -73,6 +88,13 @@ class Estimates {
     std::optional<double> card;
   };
   using Map = std::unordered_map<std::int64_t, Entry>;
+
+  static constexpr std::size_t kFragments = kEstimateFragments;
+  /// Fragment a muscle's entries live in (same mapping as the registry's
+  /// shard_for — keep the casts identical).
+  static std::size_t fragment_of(int muscle_id) {
+    return static_cast<std::size_t>(muscle_id) % kFragments;
+  }
 
   /// Aggregate lookups (depth-less).
   std::optional<double> t(int muscle_id) const;
@@ -90,21 +112,48 @@ class Estimates {
   void set(int muscle_id, Entry e);
   /// Store a depth-specific entry.
   void set(int muscle_id, int depth, Entry e);
-  /// Pre-size the map for `n` entries before a bulk build.
-  void reserve(std::size_t n);
 
   EstimationScope scope() const { return scope_; }
   void set_scope(EstimationScope s) { scope_ = s; }
 
-  std::size_t size() const { return map().size(); }
-  const Map& entries() const { return map(); }
+  std::size_t size() const;
+
+  /// Visit every (composite key, entry) pair across all fragments.
+  /// Iteration order is unspecified (it was never specified for the old
+  /// single-map layout either).
+  template <class F>
+  void for_each(F&& f) const {
+    if (!frags_) return;
+    for (const auto& frag : *frags_) {
+      if (!frag) continue;
+      for (const auto& [key, entry] : *frag) f(key, entry);
+    }
+  }
+
+  /// The shared fragment map at index `i` (null = empty). Exposed so tests
+  /// can verify storage sharing/splicing and so the registry can splice
+  /// clean fragments directly.
+  std::shared_ptr<const Map> fragment(std::size_t i) const {
+    return frags_ ? (*frags_)[i] : nullptr;
+  }
+  /// Registry-side splice: install a prebuilt fragment.
+  void set_fragment(std::size_t i, std::shared_ptr<const Map> frag) {
+    mutable_frags()[i] = std::move(frag);
+  }
 
  private:
-  const Map& map() const;
-  Map& mutable_map();
+  using FragArray = std::array<std::shared_ptr<const Map>, kFragments>;
+
+  const Map* frag_for(int muscle_id) const {
+    return frags_ ? (*frags_)[fragment_of(muscle_id)].get() : nullptr;
+  }
+  FragArray& mutable_frags();
+  Map& mutable_fragment(std::size_t i);
 
   EstimationScope scope_ = EstimationScope::kAggregate;
-  std::shared_ptr<Map> entries_;  // null = empty; cloned on shared write
+  // const FragArray of const Maps: both levels are immutable once shared; a
+  // write clones the array (and the touched fragment) first. Null = empty.
+  std::shared_ptr<const FragArray> frags_{};
 };
 
 class EstimateRegistry {
@@ -142,9 +191,14 @@ class EstimateRegistry {
   std::optional<double> t(int muscle_id, int depth) const;
   std::optional<double> cardinality(int muscle_id, int depth) const;
 
-  /// Consistent snapshot of everything. O(1) when nothing was written since
-  /// the previous call (the controller's back-to-back decision case);
-  /// O(muscles) rebuild otherwise.
+  /// Consistent snapshot of everything. Lock-free when nothing was written
+  /// since the previous call (the controller's back-to-back decision case):
+  /// one version load + a cached shared_ptr bump. Otherwise rebuilds ONLY
+  /// the shards written since the last snapshot — locking only those shards
+  /// — and splices the rest in by shared_ptr bump: O(dirty shards), not
+  /// O(muscles). A global-version recheck (bounded retry, then a lock-all
+  /// fallback) keeps the result a coherent cut even though clean shards are
+  /// spliced without their locks.
   Estimates snapshot() const;
   /// Monotonic write counter; bumped by every observe/init/clear. Exposed
   /// for tests and monitoring ("did anything change since I last looked?").
@@ -162,11 +216,21 @@ class EstimateRegistry {
  private:
   // One shard per group of muscle ids; both layers (aggregate + per-depth)
   // of a muscle live in its shard, so point lookups with depth fallback
-  // still take a single lock.
-  static constexpr std::size_t kShards = 16;
+  // still take a single lock. Shard index == Estimates fragment index.
+  static constexpr std::size_t kShards = kEstimateFragments;
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::int64_t, MuscleStats> stats;
+    // Bumped (store-release) under mu by every write to this shard. Atomic
+    // so the snapshot's per-shard clean check can read it WITHOUT taking mu
+    // — a rebuild locks only the shards whose version moved; reading a stale
+    // value is caught by the rebuild's global-version recheck.
+    std::atomic<std::uint64_t> version{0};
+    // Fragment cache: the Estimates fragment built from `stats` at
+    // `frag_version`. Guarded by snap_mu_, NOT by mu — only snapshot()
+    // (which serializes on snap_mu_) ever touches it; writers never look.
+    std::shared_ptr<const Estimates::Map> frag;
+    std::uint64_t frag_version = 0;
   };
   Shard& shard_for(int muscle_id) const;
   /// Lock every shard (fixed index order; excludes all writers at once).
@@ -181,11 +245,16 @@ class EstimateRegistry {
   mutable std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> version_{0};
 
-  // Clean-snapshot cache, guarded by snap_mu_ (never taken by writers).
+  // Whole-snapshot cache for the lock-free clean path: the last snapshot
+  // built, tagged with the global version it was built at. Readers load it
+  // with one atomic shared_ptr load; rebuilds publish a fresh node.
+  struct CleanSnap {
+    std::uint64_t version;
+    Estimates snap;
+  };
+  mutable std::atomic<std::shared_ptr<const CleanSnap>> clean_cache_{};
+  // Serializes rebuilds only (never taken by writers or the clean path).
   mutable std::mutex snap_mu_;
-  mutable Estimates cached_snapshot_;
-  mutable std::uint64_t cached_version_ = 0;
-  mutable bool cache_valid_ = false;
 };
 
 }  // namespace askel

@@ -72,8 +72,13 @@ class FakeWorkerTransport final : public Transport {
     switch (f.type) {
       case WireFrameType::kSubmit: {
         ++submits_;
-        st_.log(now, worker_, "submit seq=" + std::to_string(f.seq) +
-                                  " hint=" + std::to_string(f.a));
+        // Batched leases (b = bracket count) trace the count; the legacy
+        // b == 0 line is byte-identical to before, so unbatched golden
+        // hashes are unaffected.
+        st_.log(now, worker_,
+                "submit seq=" + std::to_string(f.seq) +
+                    " hint=" + std::to_string(f.a) +
+                    (f.b > 0 ? " n=" + std::to_string(f.b) : std::string{}));
         if (worker_ == st_.plan.crash_worker &&
             st_.plan.crash_on_nth_task > 0 &&
             submits_ >= st_.plan.crash_on_nth_task) {

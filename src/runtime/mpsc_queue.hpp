@@ -1,0 +1,98 @@
+#pragma once
+// Lock-free multi-producer single-consumer task queue (Vyukov-style) for the
+// pool's external injection path.
+//
+// Producers (submit() from non-worker threads) push with one atomic exchange
+// — wait-free, no CAS loop, no lock. The single consumer is whichever worker
+// wins the `inject_draining_` claim in try_get_task; it batch-drains into its
+// own deque, so the cross-thread handoff cost is paid once per drain, not
+// once per task.
+//
+// Layout: an intrusive singly-linked list with a stub node. `head_` is the
+// producer side (most recently pushed node); `tail_` is the consumer side
+// (the stub / already-consumed node whose `next` is the oldest unconsumed
+// task). Push: exchange head_ to the new node, then link prev->next. Between
+// those two steps the list is momentarily disconnected — pop() observes
+// `tail_->next == nullptr` while `head_ != tail_` and reports "transiently
+// inconsistent" by returning false. That is safe here: the pool's queued_
+// counter was already incremented by the producer, so the sleeper predicate
+// keeps the consumer awake and it simply retries (the same busy-retry shape
+// the tenant-queue race already uses).
+
+#include <atomic>
+#include <utility>
+
+#include "runtime/task.hpp"
+
+namespace askel {
+
+class MpscTaskQueue {
+ public:
+  MpscTaskQueue() {
+    Node* stub = new Node;
+    head_.store(stub, std::memory_order_relaxed);
+    tail_.store(stub, std::memory_order_relaxed);
+  }
+
+  MpscTaskQueue(const MpscTaskQueue&) = delete;
+  MpscTaskQueue& operator=(const MpscTaskQueue&) = delete;
+
+  ~MpscTaskQueue() {
+    // Single-threaded at destruction (the pool joins workers first): walk
+    // and free whatever was never consumed, including the stub.
+    Node* n = tail_.load(std::memory_order_relaxed);
+    while (n) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Wait-free producer push (any thread).
+  void push(Task task) {
+    Node* n = new Node;
+    n->task = std::move(task);
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    // Publishes the node's payload to the consumer (release pairs with the
+    // acquire load of `next` in pop()).
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Single-consumer pop of the OLDEST task. Returns false when empty — or
+  /// when a producer is mid-push (transient; the caller retries). Must only
+  /// be called by one thread at a time (the drain claim enforces this).
+  bool pop(Task& out) {
+    Node* t = tail_.load(std::memory_order_relaxed);
+    Node* next = t->next.load(std::memory_order_acquire);
+    if (!next) return false;
+    out = std::move(next->task);
+    next->task = Task{};  // drop captures eagerly; next lives on as the stub
+    tail_.store(next, std::memory_order_relaxed);
+    delete t;
+    return true;
+  }
+
+  /// Emptiness hint, safe from ANY thread (pure pointer comparison — never
+  /// dereferences, so a concurrent pop freeing the old tail is harmless).
+  /// head_ != tail_ exactly when at least one push has not been consumed;
+  /// racy by nature, used only to decide whether claiming a drain is worth
+  /// it.
+  bool maybe_nonempty() const {
+    return head_.load(std::memory_order_acquire) !=
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    Task task;
+  };
+
+  // Producers hammer head_; the consumer owns tail_ (atomic only so the
+  // maybe_nonempty hint can read it from other threads). Separate cache
+  // lines.
+  alignas(64) std::atomic<Node*> head_;
+  alignas(64) std::atomic<Node*> tail_;
+};
+
+}  // namespace askel

@@ -6,6 +6,14 @@
 
 namespace askel {
 
+namespace {
+// Lease token handed out by the batched task_begin: "this bracket is part of
+// the session's open batch window" — no wire sequence exists for it yet.
+// Real sequence numbers start at 1 and could only collide after 2^64-1
+// leases.
+constexpr std::uint64_t kBatchToken = ~std::uint64_t{0};
+}  // namespace
+
 RemoteWorkerBackend::RemoteWorkerBackend(TransportFactory& factory,
                                          RemoteBackendConfig cfg)
     : factory_(factory), cfg_(cfg) {
@@ -115,6 +123,7 @@ bool RemoteWorkerBackend::pump_step(Outcome& out) {
     s.next_seq = 1;
     s.last_accounted = 0;
     s.open_lease = 0;
+    s.batch_count = 0;
     s.retire_requested.store(false, std::memory_order_relaxed);
     sessions_opened_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -143,6 +152,13 @@ bool RemoteWorkerBackend::pump_step(Outcome& out) {
 }
 
 void RemoteWorkerBackend::pump() {
+  // Manual mode has no heartbeat sweep: the pump is also where stale batch
+  // windows flush once the virtual clock passed their deadline.
+  if (cfg_.lease_batch > 1) {
+    for (int w = 0; w < static_cast<int>(sessions_.size()); ++w) {
+      flush_stale_batch(w);
+    }
+  }
   for (;;) {
     Outcome out;
     const bool progressed = pump_step(out);
@@ -188,6 +204,9 @@ void RemoteWorkerBackend::provision_loop(const std::stop_token& st) {
 void RemoteWorkerBackend::heartbeat_sweep() {
   if (cfg_.heartbeat_interval <= 0.0) return;
   for (int w = 0; w < static_cast<int>(sessions_.size()); ++w) {
+    // A batch window whose owner went quiet must not pend forever: the
+    // sweep gives the flush deadline teeth on idle sessions.
+    if (cfg_.lease_batch > 1) flush_stale_batch(w);
     // session_live's try_lock makes this a cheap scan; probe() itself
     // short-circuits sessions with an open lease (they are answering by
     // definition) and tears down the ones that time out.
@@ -218,9 +237,11 @@ void RemoteWorkerBackend::release(int /*have*/, int want) {
     // mid-closure (session mutex free): retiring under it would tear down
     // a healthy round trip and misreport it as a loss.
     std::unique_lock lock(s.mu, std::try_to_lock);
-    if (!lock.owns_lock() || s.open_lease != 0) {
+    if (!lock.owns_lock() || s.open_lease != 0 || s.batch_count != 0) {
       // (Without the lock, s.transport may not be read; an over-set flag on
-      // an empty session is harmless — the next toucher clears it.)
+      // an empty session is harmless — the next toucher clears it.) A
+      // pending batch window defers too: its owner — a bracket mid-task —
+      // flushes and then honors the retire at its next task_end.
       s.retire_requested.store(true, std::memory_order_release);
       continue;
     }
@@ -234,7 +255,23 @@ void RemoteWorkerBackend::release(int /*have*/, int want) {
 
 void RemoteWorkerBackend::retire_session_locked(Session& s, int worker) {
   s.retire_requested.store(false, std::memory_order_relaxed);
-  if (s.transport == nullptr) return;
+  if (s.transport == nullptr) {
+    s.batch_count = 0;
+    return;
+  }
+  // A pending batch window ships fire-and-forget: the transport is about to
+  // close, so its Complete could never be read — no lease is opened (the
+  // invariant stays exact) but the brackets are still accounted.
+  if (s.batch_count > 0) {
+    const std::uint64_t count = s.batch_count;
+    s.batch_count = 0;
+    if (s.transport->send(WireFrame{WireFrameType::kSubmit,
+                                    static_cast<std::uint32_t>(worker),
+                                    s.next_seq++, s.batch_hint, count})) {
+      tasks_batched_.fetch_add(count, std::memory_order_relaxed);
+      batch_flushes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   s.transport->send(WireFrame{WireFrameType::kRetire,
                               static_cast<std::uint32_t>(worker), s.next_seq++,
                               0, 0});
@@ -253,6 +290,16 @@ std::uint64_t RemoteWorkerBackend::task_begin(int worker,
     return 0;
   }
   if (s.transport == nullptr || !s.transport->alive()) return 0;
+  if (cfg_.lease_batch > 1) {
+    // Batched mode: no wire traffic here. Open the window on its first
+    // bracket (anchoring the flush deadline and capturing the backlog hint
+    // the eventual Submit will piggyback); task_end counts and flushes.
+    if (s.batch_count == 0) {
+      s.batch_since = cfg_.clock->now();
+      s.batch_hint = queued_hint;
+    }
+    return kBatchToken;
+  }
   const std::uint64_t seq = s.next_seq++;
   if (!s.transport->send(WireFrame{WireFrameType::kSubmit,
                                static_cast<std::uint32_t>(worker), seq,
@@ -269,7 +316,6 @@ void RemoteWorkerBackend::task_end(int worker, std::uint64_t lease) {
   if (lease == 0) return;
   Session& s = *sessions_[static_cast<std::size_t>(worker)];
   std::lock_guard lock(s.mu);
-  s.open_lease = 0;  // resolving now, one way or the other
   // A release() that arrived mid-lease deferred to us: honor it once the
   // lease is resolved (destroyed before the lock guard releases s.mu).
   struct DeferredRetire {
@@ -282,12 +328,37 @@ void RemoteWorkerBackend::task_end(int worker, std::uint64_t lease) {
       }
     }
   } deferred{this, s, worker};
+  if (lease == kBatchToken) {
+    if (s.transport == nullptr || !s.transport->alive()) {
+      // The session died inside the window: nothing was ever shipped for
+      // these brackets (no lease opened), and the tasks themselves already
+      // ran in-process — drop the window.
+      s.batch_count = 0;
+      return;
+    }
+    ++s.batch_count;
+    const bool full =
+        s.batch_count >= static_cast<std::uint64_t>(cfg_.lease_batch);
+    const bool stale =
+        cfg_.clock->now() - s.batch_since >= cfg_.batch_flush;
+    if (full || stale || s.retire_requested.load(std::memory_order_acquire)) {
+      flush_batch_locked(s, worker);
+    }
+    return;
+  }
+  s.open_lease = 0;  // resolving now, one way or the other
   if (s.transport == nullptr) {
     // The session vanished under an open lease (should not happen: the
     // lease owner is the only lease-plane writer) — account it as lost.
     losses_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  await_complete_locked(s, lease);
+}
+
+void RemoteWorkerBackend::await_complete_locked(Session& s,
+                                                std::uint64_t lease) {
+  s.open_lease = 0;
   const TimePoint deadline = cfg_.clock->now() + cfg_.complete_timeout;
   for (;;) {
     WireFrame f;
@@ -330,6 +401,37 @@ void RemoteWorkerBackend::task_end(int worker, std::uint64_t lease) {
       return;  // link stays up: a late completion is ignored on arrival
     }
   }
+}
+
+void RemoteWorkerBackend::flush_batch_locked(Session& s, int worker) {
+  if (s.batch_count == 0) return;
+  const std::uint64_t count = s.batch_count;
+  s.batch_count = 0;
+  const std::uint64_t seq = s.next_seq++;
+  if (!s.transport->send(WireFrame{WireFrameType::kSubmit,
+                                   static_cast<std::uint32_t>(worker), seq,
+                                   s.batch_hint, count})) {
+    drop_session_locked(s);
+    return;  // never leased: the window's tasks already ran locally
+  }
+  leases_.fetch_add(1, std::memory_order_relaxed);
+  tasks_batched_.fetch_add(count, std::memory_order_relaxed);
+  batch_flushes_.fetch_add(1, std::memory_order_relaxed);
+  s.open_lease = seq;
+  await_complete_locked(s, seq);
+}
+
+void RemoteWorkerBackend::flush_stale_batch(int worker) {
+  Session& s = *sessions_[static_cast<std::size_t>(worker)];
+  // try_lock: a held mutex means a bracket or flush is in progress — it
+  // will handle the window itself.
+  std::unique_lock lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  if (s.transport == nullptr || !s.transport->alive() || s.batch_count == 0) {
+    return;
+  }
+  if (cfg_.clock->now() - s.batch_since < cfg_.batch_flush) return;
+  flush_batch_locked(s, worker);
 }
 
 bool RemoteWorkerBackend::probe(int worker) {
@@ -411,6 +513,8 @@ RemoteBackendStats RemoteWorkerBackend::stats() const {
   s.completes = completes_.load(std::memory_order_relaxed);
   s.losses_recovered = losses_.load(std::memory_order_relaxed);
   s.ignored_completes = ignored_.load(std::memory_order_relaxed);
+  s.tasks_batched = tasks_batched_.load(std::memory_order_relaxed);
+  s.batch_flushes = batch_flushes_.load(std::memory_order_relaxed);
   s.heartbeats_acked = hb_acked_.load(std::memory_order_relaxed);
   s.provision_failures = provision_failures_.load(std::memory_order_relaxed);
   s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);

@@ -34,8 +34,16 @@ struct SubprocessBackendConfig {
   Duration complete_timeout = 2.0;
   Duration heartbeat_timeout = 1.0;
   /// Test hook: every worker process _exits after completing this many
-  /// tasks (0 = never) — a real crash, detected as EOF.
+  /// tasks (0 = never) — a real crash, detected as EOF. Counted in Submit
+  /// frames, so under lease batching one batch window counts once.
   int crash_after_tasks = 0;
+  /// Per-lease task batching (see RemoteBackendConfig::lease_batch): 1 =
+  /// one Submit/Complete round trip per task (the legacy protocol), K > 1 =
+  /// one per window of up to K tasks. The worker child is batch-transparent
+  /// — it answers every Submit with one Complete regardless of `b`.
+  int lease_batch = 1;
+  /// Flush deadline for a partially filled batch window.
+  Duration batch_flush = 0.005;
 };
 
 class SubprocessTransportFactory final : public TransportFactory {
@@ -90,6 +98,8 @@ class SubprocessBackend : private detail::SubprocessFactoryHolder,
     r.connect_timeout = cfg.hello_timeout + 1.0;
     r.complete_timeout = cfg.complete_timeout;
     r.heartbeat_timeout = cfg.heartbeat_timeout;
+    r.lease_batch = cfg.lease_batch;
+    r.batch_flush = cfg.batch_flush;
     r.name = "subprocess";
     return r;
   }

@@ -198,8 +198,7 @@ void ResizableThreadPool::submit(Task task, int tenant) {
   if (tls_worker.pool == this) {
     deques_[static_cast<std::size_t>(tls_worker.index)]->push(std::move(task));
   } else {
-    std::lock_guard lock(inject_mu_);
-    injected_.push_back(std::move(task));
+    injected_.push(std::move(task));  // wait-free: one atomic exchange
   }
   maybe_wake_one();
 }
@@ -427,13 +426,29 @@ bool ResizableThreadPool::try_get_task(int index, Task& out,
     queued_.fetch_sub(1, std::memory_order_acq_rel);
     return true;
   }
-  // 2. Injection queue, newest first (same LIFO order the old global deque
-  //    gave externally submitted tasks).
-  {
-    std::lock_guard lock(inject_mu_);
-    if (!injected_.empty()) {
-      out = std::move(injected_.back());
-      injected_.pop_back();
+  // 2. Injection queue. One worker at a time claims the drain and batch-
+  //    moves EVERYTHING into its own deque, so the cross-thread handoff is
+  //    paid once per drain, not once per task; siblings steal from the deque
+  //    as usual. Drain order (oldest first) + deque pop (newest first)
+  //    reproduce the newest-first service order the old global deque gave
+  //    externally submitted tasks. A pop may transiently miss a task whose
+  //    producer is mid-push; queued_ > 0 keeps this worker from sleeping, so
+  //    it simply comes back (same busy-retry shape as the tenant-queue
+  //    race below).
+  if (injected_.maybe_nonempty() &&
+      !inject_draining_.exchange(true, std::memory_order_acq_rel)) {
+    WorkDeque& own = *deques_[static_cast<std::size_t>(index)];
+    std::size_t drained = 0;
+    Task t;
+    while (injected_.pop(t)) {
+      own.push(std::move(t));
+      ++drained;
+    }
+    inject_draining_.store(false, std::memory_order_release);
+    // queued_ is untouched by the drain itself: the tasks merely moved
+    // queues, and the decrement below happens only for the task actually
+    // claimed — the accounting stays exact for queued()/wait_idle().
+    if (drained > 0 && own.pop(out)) {
       queued_.fetch_sub(1, std::memory_order_acq_rel);
       return true;
     }

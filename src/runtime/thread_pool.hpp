@@ -13,7 +13,9 @@
 //    inside a task go to the submitting worker's own deque, so in steady
 //    state submit/pop touch one uncontended lock and the pool-wide mutex is
 //    never taken;
-//  * tasks submitted from outside the pool land in a global injection queue;
+//  * tasks submitted from outside the pool land in a lock-free MPSC
+//    injection queue (Vyukov-style: wait-free producer push; the one worker
+//    that claims the drain batch-moves everything into its own deque);
 //  * tenant-tagged tasks (multi-tenant mode) land in per-tenant run queues
 //    and are dispatched by a grant-weighted policy (see "Tenant-aware
 //    dispatch" below), turning the coordinator's LP grants into actual
@@ -69,6 +71,7 @@
 #include <vector>
 
 #include "runtime/lp_gauge.hpp"
+#include "runtime/mpsc_queue.hpp"
 #include "runtime/task.hpp"
 #include "runtime/work_queue.hpp"
 #include "util/clock.hpp"
@@ -290,8 +293,13 @@ class ResizableThreadPool {
 
   // ---- data plane: per-worker deques + injection queue, no global mutex ----
   std::vector<std::unique_ptr<WorkDeque>> deques_;  // max_lp_ slots, fixed
-  std::mutex inject_mu_;
-  std::deque<Task> injected_;
+  // External submits push lock-free (one atomic exchange per producer); the
+  // worker that wins the `inject_draining_` claim batch-drains the whole
+  // queue into its own deque, where siblings can steal it. Replaces the old
+  // inject_mu_/std::deque pair, whose single mutex serialized every
+  // cross-thread submit against every injection poll.
+  MpscTaskQueue injected_;
+  std::atomic<bool> inject_draining_{false};
   std::atomic<std::size_t> queued_{0};     // tasks waiting in any queue
   std::atomic<std::int64_t> inflight_{0};  // queued + currently running
   std::atomic<int> idle_sleepers_{0};      // runnable workers asleep on work_cv_

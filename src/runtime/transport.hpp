@@ -12,7 +12,9 @@
 //
 //   kHello        worker -> pool   "I joined" (a = pid); ends provisioning
 //   kSubmit       pool -> worker   lease `seq` opens (a = pool backlog, the
-//                                  piggybacked steal hint; b = test flags)
+//                                  piggybacked steal hint; b = number of
+//                                  task brackets the lease covers in batched
+//                                  mode, 0 on the unbatched legacy path)
 //   kComplete     worker -> pool   lease `seq` closes
 //   kHeartbeat    pool -> worker   liveness probe `seq`
 //   kHeartbeatAck worker -> pool   probe reply
@@ -58,7 +60,7 @@ struct WireFrame {
   std::uint32_t worker = 0;  // worker index the frame concerns
   std::uint64_t seq = 0;     // lease / probe sequence number (per worker)
   std::uint64_t a = 0;       // kHello: pid; kSubmit/kStealHint: backlog depth
-  std::uint64_t b = 0;       // kSubmit: flags (test hooks)
+  std::uint64_t b = 0;       // kSubmit: batched-lease bracket count (0 = unbatched)
 
   bool operator==(const WireFrame&) const = default;
 };

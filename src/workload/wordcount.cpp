@@ -102,19 +102,17 @@ NamedEstimates export_named_estimates(const EstimateRegistry& reg,
   std::unordered_map<int, std::string> names;
   for (const Muscle* m : tree_muscles(root)) names[m->id()] = m->name();
   NamedEstimates out;
-  // Keep the snapshot alive: entries() refers into it, and a range-for over
-  // a member of a temporary would dangle (C++20; fixed only in C++23).
   const Estimates snap = reg.snapshot();
-  for (const auto& [key, entry] : snap.entries()) {
+  snap.for_each([&](std::int64_t key, const Estimates::Entry& entry) {
     const auto it = names.find(estimate_key_muscle(key));
-    if (it == names.end()) continue;
+    if (it == names.end()) return;
     const int depth = estimate_key_depth(key);
     // Aggregate entries export under the bare name; per-depth entries under
     // "name@depth" (both are restored by init_named_estimates).
     const std::string k =
         depth == kAnyDepth ? it->second : it->second + "@" + std::to_string(depth);
     out[k] = entry;
-  }
+  });
   return out;
 }
 

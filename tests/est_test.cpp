@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <thread>
 
 #include "est/ewma.hpp"
@@ -229,13 +230,72 @@ TEST(RegistryVersion, CleanSnapshotsShareStorage) {
   for (int m = 0; m < 100; ++m) reg.observe_duration(m, 1.0);
   const Estimates a = reg.snapshot();
   const Estimates b = reg.snapshot();  // clean: cached, O(1)
-  // COW: both snapshots expose the same underlying map object.
-  EXPECT_EQ(&a.entries(), &b.entries());
-  // A write invalidates the cache; the next snapshot is a fresh map.
+  // COW: both snapshots expose the same underlying fragment objects.
+  for (std::size_t i = 0; i < Estimates::kFragments; ++i) {
+    EXPECT_EQ(a.fragment(i), b.fragment(i)) << "fragment " << i;
+  }
+  // A write to muscle 0 dirties exactly one shard; the next snapshot
+  // rebuilds that fragment and splices every other one unchanged.
   reg.observe_duration(0, 5.0);
   const Estimates c = reg.snapshot();
-  EXPECT_NE(&a.entries(), &c.entries());
+  const std::size_t dirty = Estimates::fragment_of(0);
+  for (std::size_t i = 0; i < Estimates::kFragments; ++i) {
+    if (i == dirty) {
+      EXPECT_NE(a.fragment(i), c.fragment(i)) << "dirty fragment not rebuilt";
+    } else {
+      EXPECT_EQ(a.fragment(i), c.fragment(i)) << "clean fragment " << i
+                                              << " was copied, not spliced";
+    }
+  }
   EXPECT_DOUBLE_EQ(*a.t(0), 1.0);  // old snapshots are immune to the write
+  EXPECT_DOUBLE_EQ(*c.t(0), 3.0);  // EWMA(0.5): 0.5*1.0 + 0.5*5.0
+}
+
+TEST(RegistryVersion, IncrementalSnapshotMatchesFullRebuildOnRandomDirtySets) {
+  // Bit-identicality of the incremental path: after every randomized batch
+  // of writes, the incrementally maintained registry's snapshot must carry
+  // exactly the values a from-scratch registry fed the same observations
+  // produces. Randomized dirty-shard patterns (subset of shards per round,
+  // both layers, all estimator-visible fields).
+  std::mt19937_64 rng(20260808u);
+  EstimateRegistry inc(0.5, EstimationScope::kPerDepth);
+  EstimateRegistry full(0.5, EstimationScope::kPerDepth);
+  for (int round = 0; round < 40; ++round) {
+    const int writes = 1 + static_cast<int>(rng() % 8);
+    for (int w = 0; w < writes; ++w) {
+      const int muscle = static_cast<int>(rng() % 128);
+      const int depth = static_cast<int>(rng() % 3);
+      const double val = 0.25 * static_cast<double>(1 + rng() % 64);
+      if (rng() % 2 == 0) {
+        inc.observe_duration(muscle, depth, val);
+        full.observe_duration(muscle, depth, val);
+      } else {
+        inc.observe_cardinality(muscle, depth, val);
+        full.observe_cardinality(muscle, depth, val);
+      }
+    }
+    // `inc` snapshots every round (so most shards are clean and get
+    // spliced); `full` snapshots once, rebuilding everything from scratch.
+    const Estimates a = inc.snapshot();
+    const Estimates b = full.snapshot();
+    ASSERT_EQ(a.size(), b.size()) << "round " << round;
+    std::size_t visited = 0;
+    a.for_each([&](std::int64_t key, const Estimates::Entry& ea) {
+      ++visited;
+      const int id = estimate_key_muscle(key);
+      const int depth = estimate_key_depth(key);
+      const Estimates::Entry eb{b.t(id, depth), b.cardinality(id, depth)};
+      if (ea.t) {
+        ASSERT_TRUE(eb.t) << "round " << round << " key " << key;
+        ASSERT_EQ(*ea.t, *eb.t) << "round " << round << " key " << key;
+      }
+      if (ea.card) {
+        ASSERT_TRUE(eb.card) << "round " << round << " key " << key;
+        ASSERT_EQ(*ea.card, *eb.card) << "round " << round << " key " << key;
+      }
+    });
+    ASSERT_EQ(visited, a.size());
+  }
 }
 
 TEST(RegistryVersion, MutatingASnapshotCopyDetachesIt) {
@@ -302,12 +362,16 @@ TEST(RegistryEstimator, VersionedSnapshotSemanticsAreEstimatorAgnostic) {
   for (int m = 0; m < 10; ++m) reg.observe_duration(m, 1.0 + m);
   const Estimates a = reg.snapshot();
   const Estimates b = reg.snapshot();
-  EXPECT_EQ(&a.entries(), &b.entries());  // clean: cached, shared storage
+  for (std::size_t i = 0; i < Estimates::kFragments; ++i) {
+    EXPECT_EQ(a.fragment(i), b.fragment(i));  // clean: cached, shared storage
+  }
   const std::uint64_t v = reg.version();
   reg.observe_duration(0, 2.0);
   EXPECT_GT(reg.version(), v);
   const Estimates c = reg.snapshot();
-  EXPECT_NE(&a.entries(), &c.entries());  // write invalidated the cache
+  // The write invalidated exactly the written muscle's fragment.
+  EXPECT_NE(a.fragment(Estimates::fragment_of(0)),
+            c.fragment(Estimates::fragment_of(0)));
   EXPECT_DOUBLE_EQ(*a.t(0), 1.0);         // old snapshot immune to the write
 }
 

@@ -13,6 +13,7 @@
 
 #include "est/registry.hpp"
 #include "events/event_bus.hpp"
+#include "runtime/mpsc_queue.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace askel {
@@ -135,6 +136,75 @@ TEST(PoolStress, ShrinkRacingSubmitNeverStrandsATask) {
   }
 }
 
+// -------------------------------------------------------------------- mpsc --
+
+TEST(MpscQueueStress, MultiProducerExactCountAndPerProducerFifo) {
+  // Hammer the raw queue: many producers push concurrently while one
+  // consumer drains. pop() returning false is NOT "empty" — a producer may
+  // be mid-link — so the consumer retries until it has seen every task.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 4000;
+  MpscTaskQueue q;
+  std::vector<std::vector<int>> seen(kProducers);
+  std::thread consumer([&] {
+    long got = 0;
+    Task t;
+    while (got < static_cast<long>(kProducers) * kPerProducer) {
+      if (q.pop(t)) {
+        t();
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    EXPECT_FALSE(q.maybe_nonempty());
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int k = 0; k < kPerProducer; ++k) {
+        q.push([&seen, p, k] { seen[static_cast<std::size_t>(p)].push_back(k); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+  for (int p = 0; p < kProducers; ++p) {
+    const auto& s = seen[static_cast<std::size_t>(p)];
+    ASSERT_EQ(s.size(), static_cast<std::size_t>(kPerProducer));
+    // Each producer's pushes come back in push order (global list order is
+    // a FIFO interleaving of the per-producer streams).
+    for (int k = 0; k < kPerProducer; ++k) EXPECT_EQ(s[static_cast<std::size_t>(k)], k);
+  }
+}
+
+TEST(MpscQueueStress, InjectionDrainUnderChurnKeepsExactAccounting) {
+  // End to end through the pool: external submitters race the lock-free
+  // injection path while the LP target oscillates (drain claimants park and
+  // respawn). wait_idle must see every task and queued() must end exact.
+  ResizableThreadPool pool(1, 4);
+  std::atomic<long> done{0};
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 3000;
+  std::vector<std::thread> submitters;
+  for (int p = 0; p < kProducers; ++p) {
+    submitters.emplace_back([&pool, &done] {
+      for (int k = 0; k < kPerProducer; ++k) {
+        pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  std::mt19937 rng(13);
+  for (int k = 0; k < 60; ++k) {
+    pool.set_target_lp(1 + static_cast<int>(rng() % 4));
+    std::this_thread::sleep_for(500us);
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), static_cast<long>(kProducers) * kPerProducer);
+  EXPECT_EQ(pool.queued(), 0u);
+}
+
 // ---------------------------------------------------------------- eventbus --
 
 TEST(EventBusStress, ConcurrentAddRemoveDispatch) {
@@ -211,13 +281,13 @@ TEST(RegistryStress, ConcurrentObserveAndSnapshot) {
     // writers fill both under one shard lock).
     while (!stop.load(std::memory_order_acquire)) {
       const Estimates snap = reg.snapshot();
-      for (const auto& [key, entry] : snap.entries()) {
+      snap.for_each([&](std::int64_t key, const Estimates::Entry& entry) {
         const int id = estimate_key_muscle(key);
         if (entry.t) {
           ASSERT_TRUE(snap.t(id).has_value())
               << "depth entry without aggregate for muscle " << id;
         }
-      }
+      });
     }
   });
   for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
