@@ -61,13 +61,37 @@ def inject_contended(d):
                  get(d, "pool_tasks_per_sec", "submit_drain_lp2"))
 
 
+def arbitration_flatness(d):
+    """Per-arbitration latency with a 100x larger cold registry vs the same
+    armed set alone (PR 7 active-set index). Already a within-run ratio;
+    ~1.0 when arbitration is flat in registrations. Lower is better."""
+    return get(d, "coordinator_scale", "arbitration_flatness_ratio")
+
+
 # (name, extractor, higher_is_better)
 METRICS = [
     ("snapshot_incremental_vs_full", snapshot_incremental, False),
     ("snapshot_clean_vs_dirty", snapshot_clean, False),
     ("lease_batching_k16_speedup", lease_batch_speedup, True),
     ("inject_contended_vs_single", inject_contended, True),
+    ("arbitration_flatness_ratio", arbitration_flatness, False),
 ]
+
+
+def load_json(path, role):
+    """Read a bench JSON with an actionable message instead of a traceback:
+    a missing baseline usually means the PR renamed BENCH_PR<N>.json without
+    updating the CI gate (or forgot to check the new baseline in)."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: {role} file '{path}' not found.\n"
+                 f"Hint: the {role} path comes from the CI bench gate; when a "
+                 "PR moves to a new BENCH_PR<N>.json, check the new baseline "
+                 "in and point the workflow at it.")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {role} file '{path}' is not valid JSON: {e}")
 
 
 def main():
@@ -78,15 +102,19 @@ def main():
                     help="allowed fractional regression (default 0.25)")
     args = ap.parse_args()
 
-    base = json.load(open(args.baseline))
-    cur = json.load(open(args.current))
+    base = load_json(args.baseline, "baseline")
+    cur = load_json(args.current, "current")
 
     failures = []
+    compared = 0
     for name, extract, higher_better in METRICS:
         b, c = extract(base), extract(cur)
         if b is None or c is None or b <= 0:
-            print(f"SKIP {name}: baseline={b} current={c}")
+            print(f"SKIP {name}: baseline={b} current={c} "
+                  "(metric missing from one side — environment gap, "
+                  "not a regression)")
             continue
+        compared += 1
         change = (c - b) / b
         if higher_better:
             regressed = change < -args.tolerance
@@ -102,7 +130,12 @@ def main():
     if failures:
         print(f"\nregressions beyond tolerance: {', '.join(failures)}")
         return 1
-    print("\nno regressions beyond tolerance")
+    if compared == 0:
+        print("\nerror: no metric was comparable between baseline and "
+              "current — the files do not overlap on any tracked quantity "
+              "(wrong baseline for this PR?)")
+        return 1
+    print(f"\nno regressions beyond tolerance ({compared} metrics compared)")
     return 0
 
 

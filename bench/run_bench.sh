@@ -19,7 +19,11 @@
 #     all shards dirty), the lease-batching sweep (K in {1,4,16,64}), the
 #     injection-queue comparison (retired mutex+deque vs lock-free MPSC)
 #     and the per-LP scaling curve. Multi-tenant staggered traffic is now
-#     Zipf-skewed (--zipf-skew 1.1) instead of uniform.
+#     Zipf-skewed (--zipf-skew 1.1) instead of uniform,
+#   * coordinator scale (PR 7): per-arbitration latency at 1M registered /
+#     10K armed vs 10K/10K (the active-set flatness ratio, must stay <= 2x),
+#     sharded-registry registration throughput, and the deterministic
+#     policy-quality ranking (adaptive vs static arbitration policies).
 # The per-scenario raw JSONs are kept next to the output
 # (<out>.pressure.json / <out>.weighted.json / <out>.aggressor.json /
 # <out>.estimators.json / <out>.transport.json / <out>.scaling.json) so CI
@@ -28,7 +32,7 @@
 # Usage: bench/run_bench.sh [--smoke] [output.json]
 #   --smoke: CI smoke mode — tiny iteration counts, no timing assertions;
 #            proves the bench pipeline runs and uploads an inspectable JSON.
-#   default output: BENCH_PR6.json in cwd.
+#   default output: BENCH_PR7.json in cwd.
 
 set -euo pipefail
 
@@ -40,7 +44,7 @@ for arg in "$@"; do
     *) out_json="${arg}" ;;
   esac
 done
-out_json="${out_json:-BENCH_PR6.json}"
+out_json="${out_json:-BENCH_PR7.json}"
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
@@ -48,7 +52,7 @@ build_dir="${repo_root}/build-bench"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
       -DASKEL_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${build_dir}" -j"$(nproc)" --target wct_algorithms multi_tenant \
-      transport_bench scaling_bench \
+      transport_bench scaling_bench coordinator_scale_bench \
       >/dev/null
 
 micro_ok=1
@@ -67,6 +71,7 @@ mt_aggressor_json="${out_json%.json}.aggressor.json"
 est_ab_json="${out_json%.json}.estimators.json"
 transport_json="${out_json%.json}.transport.json"
 scaling_json="${out_json%.json}.scaling.json"
+coord_scale_json="${out_json%.json}.coordinator.json"
 trap 'rm -f "${raw_json}"' EXIT
 
 min_time=0.2
@@ -115,6 +120,14 @@ sc_args=()
 "${build_dir}/scaling_bench" "${sc_args[@]+"${sc_args[@]}"}" \
   > "${scaling_json}"
 
+# Coordinator scale (PR 7): arbitration-flatness ratio (1M registered / 10K
+# armed vs 10K/10K) and the deterministic policy-quality ranking. Smoke mode
+# shrinks to 50K/1K and skips the wall-clock flatness assertion.
+cs_args=()
+[[ ${smoke} -eq 1 ]] && cs_args+=(--smoke)
+"${build_dir}/coordinator_scale_bench" "${cs_args[@]+"${cs_args[@]}"}" \
+  > "${coord_scale_json}"
+
 # WCT algorithm comparison rides along for the scheduling-cost trajectory
 # (skipped in smoke mode: it is the slowest piece and purely informational).
 if [[ ${smoke} -eq 0 ]]; then
@@ -123,7 +136,7 @@ fi
 
 python3 - "${raw_json}" "${mt_pressure_json}" "${mt_weighted_json}" \
   "${mt_aggressor_json}" "${out_json}" "${smoke}" "${est_ab_json}" \
-  "${transport_json}" "${scaling_json}" <<'EOF'
+  "${transport_json}" "${scaling_json}" "${coord_scale_json}" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
@@ -133,6 +146,7 @@ mt_aggressor = json.load(open(sys.argv[4]))
 estimator_ab = json.load(open(sys.argv[7]))
 transport = json.load(open(sys.argv[8]))
 scaling = json.load(open(sys.argv[9]))
+coordinator = json.load(open(sys.argv[10]))
 by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
 
 def ns(name):
@@ -144,7 +158,7 @@ def items_per_sec(name):
     return round(b["items_per_second"]) if b and "items_per_second" in b else None
 
 out = {
-    "pr": 6,
+    "pr": 7,
     "smoke": sys.argv[6] == "1",
     "context": raw.get("context", {}),
     "event_dispatch_ns": {
@@ -178,6 +192,7 @@ out = {
     "estimator_ab": estimator_ab,
     "transport": transport,
     "scaling": scaling,
+    "coordinator_scale": coordinator,
 }
 json.dump(out, open(sys.argv[5], "w"), indent=2)
 print(f"wrote {sys.argv[5]}")

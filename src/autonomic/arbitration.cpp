@@ -1,7 +1,9 @@
 #include "autonomic/arbitration.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <utility>
 
 namespace askel {
 
@@ -38,6 +40,59 @@ void DeadlinePressurePolicy::arbitrate(int budget,
     }
   }
 }
+
+namespace {
+
+/// Shared water-fill core: floors one unit at a time in descending
+/// (weight, pressure, order) priority, then repeatedly +1 to the unsatisfied
+/// item with the lowest grant/weight ratio (ties toward higher pressure, then
+/// earlier order), so steady-state grants are proportional to weight, capped
+/// at desired. Returns the unspent remainder.
+struct FillItem {
+  int desired = 0;
+  int weight = 1;
+  double pressure = 0.0;
+};
+
+int water_fill(int budget, const std::vector<FillItem>& items,
+               std::vector<int>& out) {
+  out.assign(items.size(), 0);
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (items[a].weight != items[b].weight) {
+                       return items[a].weight > items[b].weight;
+                     }
+                     return items[a].pressure > items[b].pressure;
+                   });
+  int remaining = budget;
+  for (const std::size_t i : order) {
+    if (remaining == 0) break;
+    if (items[i].desired <= 0) continue;
+    out[i] = 1;
+    --remaining;
+  }
+  while (remaining > 0) {
+    std::size_t pick = items.size();
+    double pick_ratio = 0.0;
+    for (const std::size_t i : order) {
+      if (out[i] >= std::min(items[i].desired, budget)) continue;
+      const double ratio = static_cast<double>(out[i]) /
+                           static_cast<double>(std::max(1, items[i].weight));
+      if (pick == items.size() || ratio < pick_ratio) {
+        pick = i;
+        pick_ratio = ratio;
+      }
+    }
+    if (pick == items.size()) break;  // everyone capped at desired
+    ++out[pick];
+    --remaining;
+  }
+  return remaining;
+}
+
+}  // namespace
 
 void WeightedSharePolicy::arbitrate(int budget,
                                     const std::vector<TenantDemand>& demands,
@@ -79,6 +134,109 @@ void WeightedSharePolicy::arbitrate(int budget,
     ++grants[pick];
     --remaining;
   }
+}
+
+void GroupedArbitrationPolicy::arbitrate(
+    int budget, const std::vector<TenantDemand>& demands,
+    std::vector<int>& grants) const {
+  // Level 1 — group the demand rows. A real group (id > 0) aggregates its
+  // members; an ungrouped tenant is its own singleton group carrying its
+  // tenant weight, so all-ungrouped vectors reduce to WeightedSharePolicy.
+  struct Group {
+    std::vector<std::size_t> members;
+    FillItem item;  // desired = sum of member desired, weight = group weight
+  };
+  std::vector<Group> groups;
+  std::unordered_map<int, std::size_t> by_id;  // group id > 0 -> groups index
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const TenantDemand& d = demands[i];
+    std::size_t gi;
+    if (d.group > 0) {
+      const auto [it, inserted] = by_id.try_emplace(d.group, groups.size());
+      gi = it->second;
+      if (inserted) {
+        groups.push_back(Group{});
+        groups[gi].item.weight = std::max(1, d.group_weight);
+      }
+    } else {
+      gi = groups.size();
+      groups.push_back(Group{});
+      groups[gi].item.weight = std::max(1, d.weight);
+    }
+    Group& g = groups[gi];
+    g.members.push_back(i);
+    g.item.desired =
+        std::min(budget, g.item.desired + std::min(d.desired, budget));
+    g.item.pressure = std::max(g.item.pressure, d.pressure);
+  }
+
+  // Level 2 — water-fill the budget across groups by group weight...
+  std::vector<FillItem> group_items;
+  group_items.reserve(groups.size());
+  for (const Group& g : groups) group_items.push_back(g.item);
+  std::vector<int> group_budget;
+  water_fill(budget, group_items, group_budget);
+
+  // ...then each group's share among its members by member weight.
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& g = groups[gi];
+    std::vector<FillItem> members(g.members.size());
+    for (std::size_t k = 0; k < g.members.size(); ++k) {
+      const TenantDemand& d = demands[g.members[k]];
+      members[k] = FillItem{std::min(d.desired, budget), std::max(1, d.weight),
+                            d.pressure};
+    }
+    std::vector<int> member_grants;
+    water_fill(group_budget[gi], members, member_grants);
+    for (std::size_t k = 0; k < g.members.size(); ++k) {
+      grants[g.members[k]] = member_grants[k];
+    }
+  }
+}
+
+AdaptiveWeightPolicy::AdaptiveWeightPolicy()
+    : AdaptiveWeightPolicy(Config{}) {}
+
+AdaptiveWeightPolicy::AdaptiveWeightPolicy(
+    Config cfg, std::unique_ptr<ArbitrationPolicy> inner)
+    : cfg_(cfg),
+      inner_(inner != nullptr ? std::move(inner)
+                              : std::make_unique<WeightedSharePolicy>()) {}
+
+void AdaptiveWeightPolicy::arbitrate(int budget,
+                                     const std::vector<TenantDemand>& demands,
+                                     std::vector<int>& grants) const {
+  // Update the boost table from this round's reported pressures, rebuilding
+  // it from scratch so entries for tenants no longer in the demand vector
+  // are dropped — the table stays O(armed) however many ids ever existed.
+  std::unordered_map<int, double> next;
+  next.reserve(demands.size());
+  std::vector<TenantDemand> boosted = demands;
+  for (TenantDemand& d : boosted) {
+    double b = 1.0;
+    if (const auto it = boosts_.find(d.tenant); it != boosts_.end()) {
+      b = it->second;
+    }
+    if (d.pressure > cfg_.miss_threshold) {
+      b += cfg_.step * std::min(d.pressure, 2.0);
+    } else {
+      b -= cfg_.decay;
+    }
+    b = std::clamp(b, 1.0, std::max(1.0, cfg_.max_boost));
+    next.emplace(d.tenant, b);
+    d.weight = std::max(1, static_cast<int>(std::lround(d.weight * b)));
+    // An ungrouped tenant's group weight IS its tenant weight; grouped
+    // tenants keep their group's weight and the boost shifts shares within
+    // the group only.
+    if (d.group == 0) d.group_weight = d.weight;
+  }
+  boosts_ = std::move(next);
+  inner_->arbitrate(budget, boosted, grants);
+}
+
+double AdaptiveWeightPolicy::boost(int tenant) const {
+  const auto it = boosts_.find(tenant);
+  return it == boosts_.end() ? 1.0 : it->second;
 }
 
 }  // namespace askel

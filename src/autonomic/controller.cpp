@@ -21,12 +21,21 @@ void AutonomicController::bind_coordinator(LpBudgetCoordinator* coord,
   if (coord_ != nullptr && sla_weight_ != 1) {
     coord_->set_tenant_weight(tenant_, sla_weight_);
   }
+  if (coord_ != nullptr && group_ != 0) {
+    coord_->set_tenant_group(tenant_, group_);
+  }
 }
 
 void AutonomicController::set_sla_weight(int weight) {
   std::lock_guard lock(mu_);
   sla_weight_ = std::max(1, weight);
   if (coord_ != nullptr) coord_->set_tenant_weight(tenant_, sla_weight_);
+}
+
+void AutonomicController::set_tenant_group(int group) {
+  std::lock_guard lock(mu_);
+  group_ = std::max(0, group);
+  if (coord_ != nullptr) coord_->set_tenant_group(tenant_, group_);
 }
 
 void AutonomicController::arm(Duration wct_goal_seconds, int max_lp) {

@@ -57,6 +57,11 @@ class AutonomicController {
   /// forwarded at bind time.
   void set_sla_weight(int weight);
 
+  /// Hierarchical tenant group (>= 1; 0 = ungrouped, the default) forwarded
+  /// to the coordinator's GroupedArbitrationPolicy. Same rules as the SLA
+  /// weight: a no-op while unbound, forwarded at bind time when set earlier.
+  void set_tenant_group(int group);
+
   /// Arm with a WCT goal anchored at `clock.now()`. `max_lp` 0 = pool max
   /// (or the coordinator budget when bound). When bound, arming claims an
   /// initial allocation from the coordinator.
@@ -102,6 +107,7 @@ class AutonomicController {
   LpBudgetCoordinator* coord_ = nullptr;
   int tenant_ = 0;
   int sla_weight_ = 1;
+  int group_ = 0;
 
   mutable std::mutex mu_;
   bool armed_ = false;

@@ -27,214 +27,306 @@ LpBudgetCoordinator::~LpBudgetCoordinator() {
   pool_.set_provision_failure_handler(nullptr);
   // Give the pool back its full range; grants die with the coordinator —
   // including the per-tenant dispatch weights, so a later coordinator (or
-  // none) never schedules against this one's stale grant vector.
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    if (tenants_[i].grant != 0) {
-      pool_.set_tenant_grant(static_cast<int>(i) + 1, 0);
-    }
+  // none) never schedules against this one's stale grant vector. Nonzero
+  // grants live only on active-set entries, so this never scans the
+  // registry.
+  for (const auto& [id, a] : active_) {
+    if (a.grant != 0) pool_.set_tenant_grant(id, 0);
   }
   pool_.set_lp_limit(pool_.max_lp());
 }
 
 void LpBudgetCoordinator::on_provision_failed(int failed_target, int effective) {
   (void)failed_target;  // the reclaim is driven by what actually exists
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   const int cap = std::max(1, effective);
-  int total = 0;
-  for (const Tenant& t : tenants_) total += t.grant;
-  if (total <= cap) return;
+  if (total_granted_ <= cap) return;
   // Claw back the LP that never materialized: ascending pressure with a
   // 1-thread floor per armed tenant — the same degradation order arbitration
   // uses when the budget shrinks. The freed grant returns to the budget for
-  // whoever requests next (and can actually be provisioned).
-  std::vector<std::size_t> asc;
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    if (tenants_[i].registered && tenants_[i].grant > 0) asc.push_back(i);
+  // whoever requests next (and can actually be provisioned). Only the
+  // active set carries grants, so the claw-back is O(active).
+  std::vector<std::pair<int, ActiveTenant*>> asc;
+  asc.reserve(active_.size());
+  for (auto& [id, a] : active_) {
+    if (a.grant > 0) asc.emplace_back(id, &a);
   }
-  std::stable_sort(asc.begin(), asc.end(), [&](std::size_t a, std::size_t b) {
-    return tenants_[a].pressure < tenants_[b].pressure;
+  std::stable_sort(asc.begin(), asc.end(), [](const auto& x, const auto& y) {
+    return x.second->pressure < y.second->pressure;
   });
   const TimePoint now = clock_->now();
-  for (const std::size_t i : asc) {
-    if (total <= cap) break;
-    Tenant& t = tenants_[i];
-    const int floor = t.armed ? 1 : 0;
-    const int cut = std::min(t.grant - floor, total - cap);
+  for (const auto& [id, ap] : asc) {
+    if (total_granted_ <= cap) break;
+    ActiveTenant& a = *ap;
+    const int cut = std::min(a.grant - 1, total_granted_ - cap);
     if (cut <= 0) continue;
-    push_history_locked(TenantAction{now, static_cast<int>(i) + 1, t.desired,
-                                     t.grant, t.grant - cut, t.pressure});
-    t.grant -= cut;
-    total -= cut;
+    push_history_locked(
+        TenantAction{now, id, a.desired, a.grant, a.grant - cut, a.pressure});
+    a.grant -= cut;
+    total_granted_ -= cut;
     // A phantom grant earns no preemption-hold protection.
-    t.last_grow = kNeverGrew;
-    pool_.set_tenant_grant(static_cast<int>(i) + 1, t.grant);
+    a.last_grow = kNeverGrew;
+    pool_.set_tenant_grant(id, a.grant);
   }
 }
 
 int LpBudgetCoordinator::budget() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   return budget_;
 }
 
 void LpBudgetCoordinator::set_budget(int b) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   budget_ = b > 0 ? std::min(b, pool_.max_lp()) : pool_.max_lp();
   pool_.set_lp_limit(budget_);
   arbitrate_locked();
 }
 
 void LpBudgetCoordinator::set_policy(std::unique_ptr<ArbitrationPolicy> policy) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   policy_ = policy != nullptr ? std::move(policy)
                               : std::make_unique<DeadlinePressurePolicy>();
   arbitrate_locked();
 }
 
 std::string LpBudgetCoordinator::policy_name() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   return policy_->name();
 }
 
 void LpBudgetCoordinator::set_preemption_hold(Duration d) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   preemption_hold_ = std::max(0.0, d);
 }
 
 Duration LpBudgetCoordinator::preemption_hold() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   return preemption_hold_;
 }
 
 int LpBudgetCoordinator::register_tenant(std::string name) {
-  std::lock_guard lock(mu_);
-  if (!free_ids_.empty()) {
-    const int id = free_ids_.back();
-    free_ids_.pop_back();
-    Tenant& t = tenants_[static_cast<std::size_t>(id - 1)];
-    t = Tenant{};  // grant is already 0: unregister arbitrated it away
+  // Recycle a freed id when any shard has one (the lock-free counter probe
+  // keeps the common no-free case at 16 relaxed loads); otherwise take a
+  // fresh slot from the next round-robin shard. Either way exactly one
+  // shard mutex is touched — registration never serializes behind
+  // arbitration or behind other shards' traffic.
+  for (int s = 0; s < kRegistryShards; ++s) {
+    RegistryShard& sh = shards_[static_cast<std::size_t>(s)];
+    if (sh.free_count.load(std::memory_order_relaxed) == 0) continue;
+    std::lock_guard lock(sh.mu);
+    if (sh.free_slots.empty()) continue;
+    const int slot = sh.free_slots.back();
+    sh.free_slots.pop_back();
+    sh.free_count.fetch_sub(1, std::memory_order_relaxed);
+    Tenant& t = sh.slots[static_cast<std::size_t>(slot)];
+    t = Tenant{};  // grant-free by construction: unregister dropped it
     t.name = std::move(name);
     t.registered = true;
-    return id;
+    sh.registered.fetch_add(1, std::memory_order_relaxed);
+    return id_of(s, slot);
   }
+  const int s = static_cast<int>(next_shard_.fetch_add(
+                    1, std::memory_order_relaxed) %
+                static_cast<unsigned>(kRegistryShards));
+  RegistryShard& sh = shards_[static_cast<std::size_t>(s)];
+  std::lock_guard lock(sh.mu);
+  const int slot = static_cast<int>(sh.slots.size());
   Tenant t;
   t.name = std::move(name);
   t.registered = true;
-  tenants_.push_back(std::move(t));
-  return static_cast<int>(tenants_.size());  // ids start at 1
+  sh.slots.push_back(std::move(t));
+  sh.registered.fetch_add(1, std::memory_order_relaxed);
+  return id_of(s, slot);
 }
 
 void LpBudgetCoordinator::unregister_tenant(int tenant) {
-  std::lock_guard lock(mu_);
-  Tenant* t = find_locked(tenant);
+  if (tenant < 1) return;
+  RegistryShard& sh = shards_[static_cast<std::size_t>(shard_of(tenant))];
+  std::lock_guard slock(sh.mu);
+  Tenant* t = slot_locked(tenant);
   if (t == nullptr) return;
-  t->registered = false;
-  t->armed = false;
-  t->desired = 0;
-  t->pressure = 0.0;
-  t->weight = 1;
-  t->last_grow = kNeverGrew;
-  arbitrate_locked();  // returns the grant to the budget (recorded)
+  const bool was_armed = t->armed;
+  *t = Tenant{};  // registered = false; weight/group reset for the next user
+  if (was_armed) {
+    // Only an armed tenant owns arbitration state; a cold unregister stays
+    // entirely on its shard.
+    std::lock_guard alock(arb_mu_);
+    drop_active_locked(tenant);
+    arbitrate_locked();  // survivors take over the returned grant
+  }
   // Drop the pool's accounting/dispatch state for the dead id so the exact
   // side map stays bounded by live tenants. Best-effort: a tenant whose last
   // tasks are still draining keeps its state (the recycled id simply
   // reclaims it on its next use — the pre-retirement behavior).
   pool_.retire_tenant(tenant);
-  free_ids_.push_back(tenant);
+  sh.free_slots.push_back(slot_of(tenant));
+  sh.free_count.fetch_add(1, std::memory_order_relaxed);
+  sh.registered.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void LpBudgetCoordinator::set_tenant_weight(int tenant, int weight) {
-  std::lock_guard lock(mu_);
-  Tenant* t = find_locked(tenant);
+  if (tenant < 1) return;
+  RegistryShard& sh = shards_[static_cast<std::size_t>(shard_of(tenant))];
+  std::lock_guard slock(sh.mu);
+  Tenant* t = slot_locked(tenant);
   if (t == nullptr) return;
   t->weight = std::max(1, weight);
+  if (!t->armed) return;  // picked up by the next arm
+  std::lock_guard alock(arb_mu_);
+  const auto it = active_.find(tenant);
+  if (it == active_.end()) return;
+  it->second.weight = t->weight;
   arbitrate_locked();
 }
 
 int LpBudgetCoordinator::tenant_weight(int tenant) const {
-  std::lock_guard lock(mu_);
-  const Tenant* t = find_locked(tenant);
+  if (tenant < 1) return 0;
+  const RegistryShard& sh = shards_[static_cast<std::size_t>(shard_of(tenant))];
+  std::lock_guard lock(sh.mu);
+  const Tenant* t = slot_locked(tenant);
   return t == nullptr ? 0 : t->weight;
 }
 
+void LpBudgetCoordinator::set_tenant_group(int tenant, int group) {
+  if (tenant < 1) return;
+  RegistryShard& sh = shards_[static_cast<std::size_t>(shard_of(tenant))];
+  std::lock_guard slock(sh.mu);
+  Tenant* t = slot_locked(tenant);
+  if (t == nullptr) return;
+  t->group = std::max(0, group);
+  if (!t->armed) return;
+  std::lock_guard alock(arb_mu_);
+  const auto it = active_.find(tenant);
+  if (it == active_.end()) return;
+  it->second.group = t->group;
+  arbitrate_locked();
+}
+
+int LpBudgetCoordinator::tenant_group(int tenant) const {
+  if (tenant < 1) return 0;
+  const RegistryShard& sh = shards_[static_cast<std::size_t>(shard_of(tenant))];
+  std::lock_guard lock(sh.mu);
+  const Tenant* t = slot_locked(tenant);
+  return t == nullptr ? 0 : t->group;
+}
+
+void LpBudgetCoordinator::set_group_weight(int group, int weight) {
+  if (group < 1) return;
+  std::lock_guard lock(arb_mu_);
+  if (weight <= 1) {
+    group_weights_.erase(group);  // default weight; keep the table sparse
+  } else {
+    group_weights_[group] = weight;
+  }
+  arbitrate_locked();
+}
+
+int LpBudgetCoordinator::group_weight(int group) const {
+  std::lock_guard lock(arb_mu_);
+  const auto it = group_weights_.find(group);
+  return it == group_weights_.end() ? 1 : it->second;
+}
+
 int LpBudgetCoordinator::arm_tenant(int tenant) {
-  std::lock_guard lock(mu_);
-  Tenant* t = find_locked(tenant);
+  if (tenant < 1) return 0;
+  RegistryShard& sh = shards_[static_cast<std::size_t>(shard_of(tenant))];
+  std::lock_guard slock(sh.mu);
+  Tenant* t = slot_locked(tenant);
   if (t == nullptr) return 0;
+  t->armed = true;
+  std::lock_guard alock(arb_mu_);
+  ActiveTenant& a = active_.try_emplace(tenant).first->second;
   // Others, not the tenant itself: a solo tenant re-arming (new goal, same
   // run pattern) must keep inheriting the pool target, like a fresh arm.
-  const int armed_others = static_cast<int>(
-      std::count_if(tenants_.begin(), tenants_.end(),
-                    [&](const Tenant& x) { return x.armed && &x != t; }));
-  t->armed = true;
+  const int armed_others = static_cast<int>(active_.size()) - 1;
+  a.weight = t->weight;
+  a.group = t->group;
   // A solo tenant inherits the pool's current target, so one coordinated
   // controller starts from exactly the state an uncoordinated one reads.
   // Joiners start at the paper's initial LP of 1 until their first decision.
-  t->desired = armed_others == 0 ? std::max(1, pool_.target_lp()) : 1;
-  t->pressure = 0.0;
+  a.desired = armed_others == 0 ? std::max(1, pool_.target_lp()) : 1;
+  a.pressure = 0.0;
   // A fresh arm earns no preemption-hold protection from a previous
   // incarnation's ramp (the disarm→re-arm stale-grant leak).
-  t->last_grow = kNeverGrew;
+  a.last_grow = kNeverGrew;
   arbitrate_locked();
-  return t->grant;
+  return a.grant;
 }
 
 int LpBudgetCoordinator::request(int tenant, int desired, double pressure) {
-  std::lock_guard lock(mu_);
-  Tenant* t = find_locked(tenant);
-  if (t == nullptr || !t->armed) return 0;
-  t->desired = std::max(1, desired);
-  t->pressure = pressure;
+  // The hot path: armed tenants live on the active-set index, so a request
+  // touches only the arbitration lock — never a registry shard — and costs
+  // O(active), independent of registrations.
+  std::lock_guard lock(arb_mu_);
+  const auto it = active_.find(tenant);
+  if (it == active_.end()) return 0;
+  it->second.desired = std::max(1, desired);
+  it->second.pressure = pressure;
   arbitrate_locked();
-  return t->grant;
+  return it->second.grant;
 }
 
 void LpBudgetCoordinator::release(int tenant) {
-  std::lock_guard lock(mu_);
-  Tenant* t = find_locked(tenant);
+  if (tenant < 1) return;
+  RegistryShard& sh = shards_[static_cast<std::size_t>(shard_of(tenant))];
+  std::lock_guard slock(sh.mu);
+  Tenant* t = slot_locked(tenant);
   if (t == nullptr || !t->armed) return;
   t->armed = false;
-  t->desired = 0;
-  t->pressure = 0.0;
-  // The protection dies with the grant: re-arbitration below zeroes the
-  // grant unconditionally (hold only ever applies to armed tenants), and a
-  // later re-arm must not inherit this incarnation's grow timestamp.
-  t->last_grow = kNeverGrew;
+  std::lock_guard alock(arb_mu_);
+  // The protection dies with the grant: the drop zeroes it unconditionally
+  // (hold only ever applies to armed tenants), and a later re-arm must not
+  // inherit this incarnation's grow timestamp — the entry itself is erased.
+  drop_active_locked(tenant);
   arbitrate_locked();
 }
 
 int LpBudgetCoordinator::granted(int tenant) const {
-  std::lock_guard lock(mu_);
-  const Tenant* t = find_locked(tenant);
-  return t == nullptr ? 0 : t->grant;
+  std::lock_guard lock(arb_mu_);
+  const auto it = active_.find(tenant);
+  return it == active_.end() ? 0 : it->second.grant;
 }
 
 int LpBudgetCoordinator::total_granted() const {
-  std::lock_guard lock(mu_);
-  return std::accumulate(
-      tenants_.begin(), tenants_.end(), 0,
-      [](int acc, const Tenant& t) { return acc + t.grant; });
+  std::lock_guard lock(arb_mu_);
+  return total_granted_;
 }
 
 int LpBudgetCoordinator::peak_total_granted() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   return peak_total_;
 }
 
 int LpBudgetCoordinator::armed_tenants() const {
-  std::lock_guard lock(mu_);
-  return static_cast<int>(std::count_if(
-      tenants_.begin(), tenants_.end(), [](const Tenant& t) { return t.armed; }));
+  std::lock_guard lock(arb_mu_);
+  return static_cast<int>(active_.size());
+}
+
+int LpBudgetCoordinator::registered_tenants() const {
+  int total = 0;
+  for (const RegistryShard& sh : shards_) {
+    total += sh.registered.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<int> LpBudgetCoordinator::active_tenants() const {
+  std::lock_guard lock(arb_mu_);
+  std::vector<int> out;
+  out.reserve(active_.size());
+  for (const auto& [id, a] : active_) out.push_back(id);
+  return out;
 }
 
 std::vector<LpBudgetCoordinator::TenantAction> LpBudgetCoordinator::history()
     const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   return history_;
 }
 
 std::vector<LpBudgetCoordinator::TenantAction> LpBudgetCoordinator::history(
     int tenant) const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(arb_mu_);
   std::vector<TenantAction> out;
   for (const TenantAction& a : history_) {
     if (a.tenant == tenant) out.push_back(a);
@@ -242,22 +334,47 @@ std::vector<LpBudgetCoordinator::TenantAction> LpBudgetCoordinator::history(
   return out;
 }
 
+void LpBudgetCoordinator::drop_active_locked(int tenant) {
+  const auto it = active_.find(tenant);
+  if (it == active_.end()) return;
+  ActiveTenant& a = it->second;
+  if (a.grant != 0) {
+    push_history_locked(
+        TenantAction{clock_->now(), tenant, 0, a.grant, 0, 0.0});
+    total_granted_ -= a.grant;
+    pool_.set_tenant_grant(tenant, 0);
+  }
+  active_.erase(it);
+}
+
 void LpBudgetCoordinator::arbitrate_locked() {
   const TimePoint now = clock_->now();
 
-  // Collect armed demands in registration order (policies tie-break on it).
-  std::vector<std::size_t> idx;
+  // Demands straight off the active-set index, iterated in id order (the
+  // registration-order tie-break the policies document). O(active); the
+  // registry shards are never touched, so arbitration cost is flat in
+  // registrations.
+  const std::size_t n = active_.size();
+  std::vector<int> ids;
+  std::vector<ActiveTenant*> ents;
   std::vector<TenantDemand> demands;
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    const Tenant& t = tenants_[i];
-    if (!t.registered || !t.armed) continue;
-    idx.push_back(i);
-    demands.push_back(TenantDemand{static_cast<int>(i) + 1, t.desired,
-                                   t.pressure, t.weight, t.grant});
+  ids.reserve(n);
+  ents.reserve(n);
+  demands.reserve(n);
+  for (auto& [id, a] : active_) {
+    int gw = a.weight;
+    if (a.group > 0) {
+      const auto it = group_weights_.find(a.group);
+      gw = it == group_weights_.end() ? 1 : it->second;
+    }
+    ids.push_back(id);
+    ents.push_back(&a);
+    demands.push_back(
+        TenantDemand{id, a.desired, a.pressure, a.weight, a.grant, a.group, gw});
   }
 
-  std::vector<int> grants(demands.size(), 0);
-  if (!demands.empty()) {
+  std::vector<int> grants(n, 0);
+  if (n != 0) {
     policy_->arbitrate(budget_, demands, grants);
     // Defensive clamp: a policy must never mint LP; trim from the back so a
     // buggy policy degrades deterministically instead of busting the budget.
@@ -285,9 +402,9 @@ void LpBudgetCoordinator::arbitrate_locked() {
       std::vector<char> held(grants.size(), 0);
       int total = sum;
       for (std::size_t k = 0; k < grants.size(); ++k) {
-        const Tenant& t = tenants_[idx[k]];
-        const int keep = std::min(t.grant, t.desired);
-        if (grants[k] < keep && now - t.last_grow < preemption_hold_) {
+        const ActiveTenant& a = *ents[k];
+        const int keep = std::min(a.grant, a.desired);
+        if (grants[k] < keep && now - a.last_grow < preemption_hold_) {
           total += keep - grants[k];
           grants[k] = keep;
           held[k] = 1;
@@ -316,31 +433,30 @@ void LpBudgetCoordinator::arbitrate_locked() {
     }
   }
 
-  // Apply: record changes, stamp grow times, and install the grant vector
-  // into the pool so the weighted dispatch schedules against it. All under
-  // mu_ — reclaim is serialized with every in-flight grant installation, so
-  // the pool never holds a mix of old and new vectors.
-  int total = 0;
-  std::size_t k = 0;
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    Tenant& t = tenants_[i];
-    int g = 0;
-    if (k < idx.size() && idx[k] == i) g = grants[k++];
-    if (!t.armed) g = 0;
-    if (g != t.grant) {
-      push_history_locked(TenantAction{now, static_cast<int>(i) + 1, t.desired,
-                                       t.grant, g, t.pressure});
-      if (g > t.grant) t.last_grow = now;
-      t.grant = g;
-      pool_.set_tenant_grant(static_cast<int>(i) + 1, g);
+  // Apply: record changes, stamp grow times, and install the changed grants
+  // into the pool in ONE batch so the weighted dispatch schedules against
+  // them. All under arb_mu_ — reclaim is serialized with every in-flight
+  // grant installation, so the pool never holds a mix of old and new
+  // vectors.
+  std::vector<std::pair<int, int>> changed;
+  for (std::size_t k = 0; k < n; ++k) {
+    ActiveTenant& a = *ents[k];
+    const int g = grants[k];
+    if (g != a.grant) {
+      push_history_locked(
+          TenantAction{now, ids[k], a.desired, a.grant, g, a.pressure});
+      if (g > a.grant) a.last_grow = now;
+      total_granted_ += g - a.grant;
+      a.grant = g;
+      changed.emplace_back(ids[k], g);
     }
-    total += g;
   }
-  peak_total_ = std::max(peak_total_, total);
+  peak_total_ = std::max(peak_total_, total_granted_);
+  if (!changed.empty()) pool_.set_tenant_grants(changed);
   // Actuate the aggregate. With no armed tenant the pool keeps its last
   // target — the same "disarm leaves the LP alone" semantics as the
   // uncoordinated controller.
-  if (total > 0) pool_.set_target_lp(total);
+  if (total_granted_ > 0) pool_.set_target_lp(total_granted_);
 }
 
 void LpBudgetCoordinator::push_history_locked(TenantAction action) {
@@ -354,16 +470,18 @@ void LpBudgetCoordinator::push_history_locked(TenantAction action) {
   history_.push_back(action);
 }
 
-const LpBudgetCoordinator::Tenant* LpBudgetCoordinator::find_locked(
+const LpBudgetCoordinator::Tenant* LpBudgetCoordinator::slot_locked(
     int tenant) const {
-  if (tenant < 1 || tenant > static_cast<int>(tenants_.size())) return nullptr;
-  const Tenant& t = tenants_[static_cast<std::size_t>(tenant - 1)];
+  if (tenant < 1) return nullptr;
+  const RegistryShard& sh = shards_[static_cast<std::size_t>(shard_of(tenant))];
+  const std::size_t slot = static_cast<std::size_t>(slot_of(tenant));
+  if (slot >= sh.slots.size()) return nullptr;
+  const Tenant& t = sh.slots[slot];
   return t.registered ? &t : nullptr;
 }
 
-LpBudgetCoordinator::Tenant* LpBudgetCoordinator::find_locked(int tenant) {
-  return const_cast<Tenant*>(
-      std::as_const(*this).find_locked(tenant));
+LpBudgetCoordinator::Tenant* LpBudgetCoordinator::slot_locked(int tenant) {
+  return const_cast<Tenant*>(std::as_const(*this).slot_locked(tenant));
 }
 
 }  // namespace askel

@@ -1,0 +1,126 @@
+#include "autonomic/policy_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_map>
+
+namespace askel {
+
+std::vector<DemandRound> demand_trace(std::uint64_t seed, int tenants,
+                                      int rounds, int budget) {
+  tenants = std::max(1, tenants);
+  rounds = std::max(1, rounds);
+  std::mt19937_64 rng(seed);
+  // Aggregate demand must overrun the budget or every policy scores a
+  // vacuous zero-miss: draw bases up to ~half the budget each, so a handful
+  // of tenants already oversubscribe it and the burst makes it acute.
+  std::uniform_int_distribution<int> base_dist(1, std::max(2, budget / 2));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Per-tenant piecewise-constant base demand, re-rolled every ~16 rounds.
+  std::vector<int> base(static_cast<std::size_t>(tenants));
+  for (int& b : base) b = base_dist(rng);
+  const int bursty = 1 + static_cast<int>(rng() % tenants);
+
+  std::vector<DemandRound> trace;
+  trace.reserve(static_cast<std::size_t>(rounds));
+  int burst_left = 0;
+  for (int r = 0; r < rounds; ++r) {
+    if (r > 0 && r % 16 == 0) {
+      for (int& b : base) b = base_dist(rng);
+    }
+    if (burst_left == 0 && unit(rng) < 0.10) burst_left = 4;
+    DemandRound round;
+    round.demands.reserve(static_cast<std::size_t>(tenants));
+    for (int t = 1; t <= tenants; ++t) {
+      TenantDemand d;
+      d.tenant = t;
+      d.desired = base[static_cast<std::size_t>(t - 1)];
+      if (t == bursty && burst_left > 0) d.desired *= 4;
+      // Initial pressure reflects a backlog proportional to demand; the
+      // replay's feedback loop overrides it from round 1 onward.
+      d.pressure = unit(rng) < 0.5 ? 0.0 : 0.5;
+      round.demands.push_back(d);
+    }
+    if (burst_left > 0) --burst_left;
+    trace.push_back(std::move(round));
+  }
+  return trace;
+}
+
+PolicyQuality replay_policy(ArbitrationPolicy& policy, int budget,
+                            const std::vector<DemandRound>& trace) {
+  PolicyQuality q;
+  q.policy = policy.name();
+  std::unordered_map<int, double> pressure;  // carried across rounds
+  std::unordered_map<int, int> prev_grant;
+  double shortfall_sum = 0.0;
+  double churn_sum = 0.0;
+  long rows = 0;
+
+  std::vector<int> grants;
+  for (const DemandRound& round : trace) {
+    std::vector<TenantDemand> demands = round.demands;
+    for (TenantDemand& d : demands) {
+      auto it = pressure.find(d.tenant);
+      if (it != pressure.end()) d.pressure = it->second;
+    }
+    grants.assign(demands.size(), 0);  // the policy contract: pre-sized, zeroed
+    policy.arbitrate(budget, demands, grants);
+    ++q.rounds;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const TenantDemand& d = demands[i];
+      const int g = i < grants.size() ? std::max(0, grants[i]) : 0;
+      ++rows;
+      if (d.pressure > 0.0) {
+        ++q.pressured_rows;
+        if (g < d.desired) {
+          ++q.misses;
+          shortfall_sum += d.desired - g;
+        }
+      }
+      auto pg = prev_grant.find(d.tenant);
+      if (pg != prev_grant.end()) churn_sum += std::abs(g - pg->second);
+      prev_grant[d.tenant] = g;
+      // Feedback: a shortfall sustains (and deepens) pressure — the backlog
+      // did not clear; a full grant decays it toward zero.
+      double p = d.pressure;
+      if (g < d.desired) {
+        p = std::min(2.0, p + 0.25 * (1.0 - static_cast<double>(g) /
+                                                std::max(1, d.desired)));
+      } else {
+        p = std::max(0.0, p - 0.5);
+      }
+      pressure[d.tenant] = p;
+    }
+  }
+  if (q.pressured_rows > 0) {
+    q.miss_rate =
+        static_cast<double>(q.misses) / static_cast<double>(q.pressured_rows);
+  }
+  if (q.misses > 0) {
+    q.mean_shortfall = shortfall_sum / static_cast<double>(q.misses);
+  }
+  if (rows > 0) q.churn = churn_sum / static_cast<double>(rows);
+  return q;
+}
+
+std::vector<PolicyQuality> rank_policies(
+    const std::vector<ArbitrationPolicy*>& policies, int budget,
+    const std::vector<DemandRound>& trace) {
+  std::vector<PolicyQuality> out;
+  out.reserve(policies.size());
+  for (ArbitrationPolicy* p : policies) {
+    if (p != nullptr) out.push_back(replay_policy(*p, budget, trace));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PolicyQuality& a, const PolicyQuality& b) {
+                     if (a.miss_rate != b.miss_rate)
+                       return a.miss_rate < b.miss_rate;
+                     return a.mean_shortfall < b.mean_shortfall;
+                   });
+  return out;
+}
+
+}  // namespace askel

@@ -217,8 +217,8 @@ ResizableThreadPool::TenantState* ResizableThreadPool::find_tenant_state(
 
 ResizableThreadPool::TenantState& ResizableThreadPool::get_tenant_state(
     int tenant) {
-  const int slot_index = (tenant - 1) % kTenantSlots;
-  TenantState& slot = tenant_slots_[static_cast<std::size_t>(slot_index)];
+  TenantState& slot =
+      tenant_slots_[static_cast<std::size_t>((tenant - 1) % kTenantSlots)];
   if (slot.id.load(std::memory_order_acquire) == tenant) return slot;
   // Miss path (first touch of this id, or an id living in the side map),
   // serialized under overflow_mu_. An existing side-map entry must win over
@@ -227,6 +227,14 @@ ResizableThreadPool::TenantState& ResizableThreadPool::get_tenant_state(
   // two TenantStates — the moment the collider retires and frees the slot.
   // Invariant: a tenant has a slot OR a side-map entry, never both.
   std::lock_guard lock(overflow_mu_);
+  return resolve_tenant_state_locked(tenant);
+}
+
+ResizableThreadPool::TenantState& ResizableThreadPool::resolve_tenant_state_locked(
+    int tenant) {
+  const int slot_index = (tenant - 1) % kTenantSlots;
+  TenantState& slot = tenant_slots_[static_cast<std::size_t>(slot_index)];
+  if (slot.id.load(std::memory_order_acquire) == tenant) return slot;
   if (overflow_states_.load(std::memory_order_acquire) > 0) {
     const auto it = overflow_.find(tenant);
     if (it != overflow_.end()) return *it->second;
@@ -322,6 +330,30 @@ void ResizableThreadPool::set_tenant_grant(int tenant, int grant) {
   if (tenant <= 0) return;
   get_tenant_state(tenant).grant.store(std::max(0, grant),
                                        std::memory_order_relaxed);
+}
+
+void ResizableThreadPool::set_tenant_grants(
+    const std::vector<std::pair<int, int>>& grants) {
+  // Pass 1: direct-slot hits store lock-free; side-map (or first-touch)
+  // misses are deferred.
+  std::vector<std::pair<int, int>> misses;
+  for (const auto& [tenant, grant] : grants) {
+    if (tenant <= 0) continue;
+    TenantState& slot =
+        tenant_slots_[static_cast<std::size_t>((tenant - 1) % kTenantSlots)];
+    if (slot.id.load(std::memory_order_acquire) == tenant) {
+      slot.grant.store(std::max(0, grant), std::memory_order_relaxed);
+    } else {
+      misses.push_back({tenant, grant});
+    }
+  }
+  if (misses.empty()) return;
+  // Pass 2: every miss resolved under one overflow_mu_ round trip.
+  std::lock_guard lock(overflow_mu_);
+  for (const auto& [tenant, grant] : misses) {
+    resolve_tenant_state_locked(tenant).grant.store(
+        std::max(0, grant), std::memory_order_relaxed);
+  }
 }
 
 int ResizableThreadPool::tenant_grant(int tenant) const {

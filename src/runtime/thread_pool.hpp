@@ -68,6 +68,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "runtime/lp_gauge.hpp"
@@ -132,6 +133,13 @@ class ResizableThreadPool {
   /// worker mid-pick may use a grant one update stale, which bounds any
   /// tenant's overshoot to one task per worker.
   void set_tenant_grant(int tenant, int grant);
+  /// Install many grant-vector entries in one call. Direct-slot hits store
+  /// lock-free exactly like set_tenant_grant; every side-map miss is
+  /// resolved under ONE overflow_mu_ acquisition instead of one per tenant.
+  /// This is the coordinator's arbitration path: a grouped arbitration at
+  /// scale re-grants thousands of side-map tenants per pass, and the batch
+  /// keeps that one lock round trip.
+  void set_tenant_grants(const std::vector<std::pair<int, int>>& grants);
   int tenant_grant(int tenant) const;
   /// Tasks waiting in `tenant`'s run queue right now.
   int tenant_queued(int tenant) const;
@@ -279,6 +287,10 @@ class ResizableThreadPool {
   /// The state owning exactly `tenant`, created (slot CAS-claim, else exact
   /// side map) if missing.
   TenantState& get_tenant_state(int tenant);
+  /// Miss-path core of get_tenant_state: requires overflow_mu_ held, so a
+  /// batch caller (set_tenant_grants) resolves many misses under one
+  /// acquisition.
+  TenantState& resolve_tenant_state_locked(int tenant);
   void maybe_wake_one();
   /// Backend provision-outcome sink (bound at attach): applies joined
   /// targets with the same stale-join guards the PR 1 timer used, or

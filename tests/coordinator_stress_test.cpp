@@ -1,0 +1,105 @@
+// Concurrency stress for the PR 7 sharded coordinator: registration churn,
+// arbitration traffic and lifecycle transitions race from many threads.
+// Primarily a ThreadSanitizer target (the CI tsan job runs it); the final
+// invariant checks also make it a meaningful race-outcome test under the
+// normal build. RUN_SERIAL: it saturates every core by design.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "autonomic/coordinator.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace askel {
+namespace {
+
+TEST(CoordinatorStress, ConcurrentRegisterArbitrateRetire) {
+  ResizableThreadPool pool(1, 16);
+  LpBudgetCoordinator coord(pool, 16);
+
+  constexpr int kChurnThreads = 4;
+  constexpr int kTrafficThreads = 3;
+  constexpr int kOpsPerChurner = 400;
+
+  // A stable armed population the traffic threads hammer for the whole run,
+  // so arbitration constantly races the churners' register/unregister.
+  std::vector<int> stable;
+  for (int k = 0; k < 8; ++k) {
+    const int id = coord.register_tenant("stable");
+    coord.arm_tenant(id);
+    stable.push_back(id);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  // Churners: full lifecycle — register, set weight/group, arm, a few
+  // requests, release, unregister. Ids recycle across threads through the
+  // shard free lists.
+  for (int t = 0; t < kChurnThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(1000 + t);
+      for (int op = 0; op < kOpsPerChurner; ++op) {
+        const int id = coord.register_tenant("churn");
+        coord.set_tenant_weight(id, 1 + static_cast<int>(rng() % 3));
+        coord.set_tenant_group(id, static_cast<int>(rng() % 3));
+        coord.arm_tenant(id);
+        for (int r = 0; r < 3; ++r) {
+          coord.request(id, 1 + static_cast<int>(rng() % 6),
+                        0.5 * static_cast<double>(rng() % 4));
+        }
+        if (rng() % 2 == 0) coord.release(id);
+        coord.unregister_tenant(id);  // releases implicitly when still armed
+      }
+    });
+  }
+
+  // Traffic: request/granted on the stable tenants — the hot path that must
+  // never touch a registry shard.
+  for (int t = 0; t < kTrafficThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(2000 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const int id = stable[rng() % stable.size()];
+        coord.request(id, 1 + static_cast<int>(rng() % 8),
+                      0.5 * static_cast<double>(rng() % 4));
+        (void)coord.granted(id);
+        (void)coord.total_granted();
+      }
+    });
+  }
+
+  // Reader: the introspection surface races everything else.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)coord.active_tenants();
+      (void)coord.registered_tenants();
+      (void)coord.history();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int t = 0; t < kChurnThreads; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kChurnThreads; t < threads.size(); ++t) threads[t].join();
+
+  // Every churned tenant is gone: only the stable population remains, the
+  // budget invariant held, and each stable tenant still has its entry.
+  EXPECT_EQ(coord.registered_tenants(), static_cast<int>(stable.size()));
+  EXPECT_EQ(coord.armed_tenants(), static_cast<int>(stable.size()));
+  EXPECT_LE(coord.total_granted(), coord.budget());
+  EXPECT_LE(coord.peak_total_granted(), coord.budget());
+  for (int id : stable) {
+    coord.release(id);
+    coord.unregister_tenant(id);
+  }
+  EXPECT_EQ(coord.registered_tenants(), 0);
+  EXPECT_EQ(coord.total_granted(), 0);
+}
+
+}  // namespace
+}  // namespace askel

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Documentation lint, run by the CI docs job (and freely on a dev box):
+
+1. Link check — every relative markdown link in README.md and docs/*.md must
+   resolve to a file or directory that exists in the repo. External links
+   (http/https/mailto) are not fetched: this gate is about repo-internal
+   drift (a renamed doc or source file breaking the doc map), not network
+   weather.
+
+2. Doc-drift lint — every subsystem directory under src/ must be mentioned
+   in docs/architecture.md. When a PR adds src/<new-subsystem>/ without
+   documenting it, this fails the build instead of relying on review memory.
+
+Usage: tools/check_docs.py [repo_root]   (default: the repo containing this
+script). Exits nonzero with one line per problem.
+"""
+
+import os
+import re
+import sys
+
+# Matches [text](target) but not images ![..](..); target split from an
+# optional '#fragment' / 'title' suffix.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def md_files(root):
+    files = [os.path.join(root, "README.md")]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def check_links(root):
+    problems = []
+    checked = 0
+    for path in md_files(root):
+        base = os.path.dirname(path)
+        text = open(path, encoding="utf-8").read()
+        # Fenced code blocks routinely contain (a)[b] lookalikes; strip them.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not resolved.startswith(root + os.sep) and resolved != root:
+                # Climbs out of the repo: a GitHub site-relative URL (badge
+                # targets and the like), not a repo file reference.
+                continue
+            checked += 1
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                problems.append(f"{rel}: broken link '{m.group(1)}' "
+                                f"(resolved to {os.path.relpath(resolved, root)})")
+    return checked, problems
+
+
+def check_architecture_coverage(root):
+    problems = []
+    arch_path = os.path.join(root, "docs", "architecture.md")
+    if not os.path.isfile(arch_path):
+        return ["docs/architecture.md missing"]
+    arch = open(arch_path, encoding="utf-8").read()
+    src = os.path.join(root, "src")
+    subsystems = sorted(
+        d for d in os.listdir(src) if os.path.isdir(os.path.join(src, d)))
+    for sub in subsystems:
+        # A mention is 'src/<sub>' or '<sub>/' — loose on purpose: the lint
+        # exists to catch a subsystem with NO documentation, not to dictate
+        # phrasing.
+        if f"src/{sub}" not in arch and f"{sub}/" not in arch:
+            problems.append(
+                f"docs/architecture.md: subsystem src/{sub}/ is never "
+                "mentioned — document it (one paragraph is enough)")
+    return problems
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), ".."))
+    checked, problems = check_links(root)
+    problems += check_architecture_coverage(root)
+    if problems:
+        for p in problems:
+            print(f"FAIL {p}")
+        return 1
+    print(f"ok: {checked} relative links resolve; every src/* subsystem is "
+          "covered by docs/architecture.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
