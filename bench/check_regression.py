@@ -68,6 +68,14 @@ def arbitration_flatness(d):
     return get(d, "coordinator_scale", "arbitration_flatness_ratio")
 
 
+def slo_attainment_ratio(d):
+    """SLO tenant's p99 attainment under the coordinator vs the FIFO
+    baseline on the same seeded stream (PR 9 service scenario). A
+    within-run A/B ratio, so machine speed cancels; > 1 means tail-driven
+    grants + weighted dispatch beat raw capacity. Higher is better."""
+    return get(d, "service", "attainment_ratio")
+
+
 # (name, extractor, higher_is_better)
 METRICS = [
     ("snapshot_incremental_vs_full", snapshot_incremental, False),
@@ -75,6 +83,7 @@ METRICS = [
     ("lease_batching_k16_speedup", lease_batch_speedup, True),
     ("inject_contended_vs_single", inject_contended, True),
     ("arbitration_flatness_ratio", arbitration_flatness, False),
+    ("slo_attainment_ratio", slo_attainment_ratio, True),
 ]
 
 

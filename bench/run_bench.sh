@@ -23,16 +23,20 @@
 #   * coordinator scale (PR 7): per-arbitration latency at 1M registered /
 #     10K armed vs 10K/10K (the active-set flatness ratio, must stay <= 2x),
 #     sharded-registry registration throughput, and the deterministic
-#     policy-quality ranking (adaptive vs static arbitration policies).
+#     policy-quality ranking (adaptive vs static arbitration policies),
+#   * latency-SLO service (PR 9): the seeded open-loop request stream with a
+#     p99 goal against a flooding aggressor, coordinated (tail-driven grants
+#     + weighted dispatch) vs the FIFO baseline — per-tenant attainment
+#     curves and the attainment ratio the regression gate tracks.
 # The per-scenario raw JSONs are kept next to the output
 # (<out>.pressure.json / <out>.weighted.json / <out>.aggressor.json /
-# <out>.estimators.json / <out>.transport.json / <out>.scaling.json) so CI
-# can upload each artifact individually.
+# <out>.estimators.json / <out>.transport.json / <out>.scaling.json /
+# <out>.service.json) so CI can upload each artifact individually.
 #
 # Usage: bench/run_bench.sh [--smoke] [output.json]
 #   --smoke: CI smoke mode — tiny iteration counts, no timing assertions;
 #            proves the bench pipeline runs and uploads an inspectable JSON.
-#   default output: BENCH_PR7.json in cwd.
+#   default output: BENCH_PR9.json in cwd.
 
 set -euo pipefail
 
@@ -44,7 +48,7 @@ for arg in "$@"; do
     *) out_json="${arg}" ;;
   esac
 done
-out_json="${out_json:-BENCH_PR7.json}"
+out_json="${out_json:-BENCH_PR9.json}"
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
@@ -52,7 +56,7 @@ build_dir="${repo_root}/build-bench"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
       -DASKEL_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${build_dir}" -j"$(nproc)" --target wct_algorithms multi_tenant \
-      transport_bench scaling_bench coordinator_scale_bench \
+      transport_bench scaling_bench coordinator_scale_bench service_bench \
       >/dev/null
 
 micro_ok=1
@@ -72,6 +76,7 @@ est_ab_json="${out_json%.json}.estimators.json"
 transport_json="${out_json%.json}.transport.json"
 scaling_json="${out_json%.json}.scaling.json"
 coord_scale_json="${out_json%.json}.coordinator.json"
+service_json="${out_json%.json}.service.json"
 trap 'rm -f "${raw_json}"' EXIT
 
 min_time=0.2
@@ -128,6 +133,14 @@ cs_args=()
 "${build_dir}/coordinator_scale_bench" "${cs_args[@]+"${cs_args[@]}"}" \
   > "${coord_scale_json}"
 
+# Latency-SLO service scenario (PR 9): the same seeded open-loop stream
+# replayed coordinated vs FIFO baseline; the SLO-win assertion only fires
+# outside smoke.
+svc_args=()
+[[ ${smoke} -eq 1 ]] && svc_args+=(--smoke)
+"${build_dir}/service_bench" "${svc_args[@]+"${svc_args[@]}"}" \
+  > "${service_json}"
+
 # WCT algorithm comparison rides along for the scheduling-cost trajectory
 # (skipped in smoke mode: it is the slowest piece and purely informational).
 if [[ ${smoke} -eq 0 ]]; then
@@ -136,7 +149,8 @@ fi
 
 python3 - "${raw_json}" "${mt_pressure_json}" "${mt_weighted_json}" \
   "${mt_aggressor_json}" "${out_json}" "${smoke}" "${est_ab_json}" \
-  "${transport_json}" "${scaling_json}" "${coord_scale_json}" <<'EOF'
+  "${transport_json}" "${scaling_json}" "${coord_scale_json}" \
+  "${service_json}" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
@@ -147,6 +161,7 @@ estimator_ab = json.load(open(sys.argv[7]))
 transport = json.load(open(sys.argv[8]))
 scaling = json.load(open(sys.argv[9]))
 coordinator = json.load(open(sys.argv[10]))
+service = json.load(open(sys.argv[11]))
 by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
 
 def ns(name):
@@ -158,7 +173,7 @@ def items_per_sec(name):
     return round(b["items_per_second"]) if b and "items_per_second" in b else None
 
 out = {
-    "pr": 7,
+    "pr": 9,
     "smoke": sys.argv[6] == "1",
     "context": raw.get("context", {}),
     "event_dispatch_ns": {
@@ -193,6 +208,7 @@ out = {
     "transport": transport,
     "scaling": scaling,
     "coordinator_scale": coordinator,
+    "service": service,
 }
 json.dump(out, open(sys.argv[5], "w"), indent=2)
 print(f"wrote {sys.argv[5]}")

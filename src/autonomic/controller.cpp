@@ -38,11 +38,48 @@ void AutonomicController::set_tenant_group(int group) {
   if (coord_ != nullptr) coord_->set_tenant_group(tenant_, group_);
 }
 
-void AutonomicController::arm(Duration wct_goal_seconds, int max_lp) {
+bool AutonomicController::arm(Duration wct_goal_seconds, int max_lp) {
+  QoSGoals g;
+  g.kind = GoalKind::kWct;
+  g.wct_goal = wct_goal_seconds;
+  g.max_lp = std::max(0, max_lp);
+  return arm_goals(g);
+}
+
+bool AutonomicController::arm_slo(Duration tail_goal_seconds, int max_lp,
+                                  double quantile) {
+  QoSGoals g;
+  g.kind = GoalKind::kTailLatency;
+  g.tail_goal = tail_goal_seconds;
+  g.tail_quantile = quantile;
+  g.max_lp = std::max(0, max_lp);
+  return arm_goals(g);
+}
+
+bool AutonomicController::arm_goals(const QoSGoals& goals) {
   std::lock_guard lock(mu_);
+  const TimePoint now = clock_->now();
+  if (validate_goals(goals) != nullptr) {
+    // Refuse the arm entirely: a zero/negative time goal is a deadline
+    // already missed by construction, and the pressure it would report —
+    // epsilon-window deadline pressure or division by a zero target — would
+    // poison a shared coordinator's arbitration against every honest tenant.
+    // One marker action records the episode; the coordinator never hears of
+    // this tenant (no arm_tenant), so its water-fill is untouched.
+    const int at = current_lp_locked();
+    actions_.push_back(
+        Action{now, at, at, DecisionReason::kInvalidGoal, 0.0, 0.0});
+    armed_ = false;
+    return false;
+  }
   armed_ = true;
-  goal_abs_ = clock_->now() + wct_goal_seconds;
-  max_lp_goal_ = max_lp;
+  goals_ = goals;
+  goal_abs_ = now + goals.wct_goal;  // meaningful in kWct mode only
+  max_lp_goal_ = goals.max_lp;
+  tail_ = goals.kind == GoalKind::kTailLatency
+              ? std::make_shared<TailTracker>(goals.tail_quantile,
+                                              goals.tail_goal)
+              : nullptr;
   last_eval_ = -1.0;
   last_reason_ = DecisionReason::kEmptySnapshot;
   evaluations_ = 0;
@@ -50,6 +87,7 @@ void AutonomicController::arm(Duration wct_goal_seconds, int max_lp) {
   // Failures that predate this arm are not this goal's business.
   provision_failures_seen_ = pool_.provision_failures();
   if (coord_ != nullptr) coord_->arm_tenant(tenant_);
+  return true;
 }
 
 void AutonomicController::disarm() {
@@ -66,6 +104,51 @@ bool AutonomicController::armed() const {
 TimePoint AutonomicController::goal_abs() const {
   std::lock_guard lock(mu_);
   return goal_abs_;
+}
+
+QoSGoals AutonomicController::goals() const {
+  std::lock_guard lock(mu_);
+  return goals_;
+}
+
+void AutonomicController::record_latency(Duration latency) {
+  std::shared_ptr<TailTracker> tracker;
+  {
+    std::lock_guard lock(mu_);
+    if (!armed_ || goals_.kind != GoalKind::kTailLatency) return;
+    tracker = tail_;
+  }
+  if (tracker == nullptr) return;
+  tracker->record(latency);
+  // Completed requests are the SLO controller's events: re-plan from the
+  // updated tail, under the same throttle and try-lock discipline as
+  // on_event (a concurrent evaluation already sees fresher tracker state).
+  std::unique_lock lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  if (!armed_ || tail_ != tracker) return;  // disarmed or re-armed meanwhile
+  const TimePoint now = clock_->now();
+  const bool warming = last_reason_ == DecisionReason::kIncompleteEstimates ||
+                       last_reason_ == DecisionReason::kEmptySnapshot;
+  if (!warming && last_eval_ >= 0.0 && now - last_eval_ < cfg_.min_interval) return;
+  evaluate_locked(now);
+}
+
+TailSnapshot AutonomicController::tail_snapshot() const {
+  std::shared_ptr<TailTracker> tracker;
+  {
+    std::lock_guard lock(mu_);
+    tracker = tail_;
+  }
+  return tracker == nullptr ? TailSnapshot{} : tracker->snapshot();
+}
+
+double AutonomicController::slo_attainment() const {
+  std::shared_ptr<TailTracker> tracker;
+  {
+    std::lock_guard lock(mu_);
+    tracker = tail_;
+  }
+  return tracker == nullptr ? 1.0 : tracker->attainment();
 }
 
 int AutonomicController::effective_max_lp() const {
@@ -146,16 +229,28 @@ Decision AutonomicController::evaluate_locked(TimePoint now) {
     actions_.push_back(Action{now, at, at, DecisionReason::kProvisionFailed,
                               0.0, 0.0});
   }
-  const AdgSnapshot g = trackers_.snapshot(now);
   const int current = current_lp_locked();
-  const Decision d = decide(g, goal_abs_, current, effective_max_lp(), cfg_.decision);
+  const bool slo_mode = goals_.kind == GoalKind::kTailLatency;
+  Decision d;
+  double pressure = 0.0;
+  if (slo_mode) {
+    // Service tenants plan from the latency tail, never the ADG: the stream
+    // has no completion time to estimate, only a quantile to hold down.
+    const TailSnapshot t =
+        tail_ != nullptr ? tail_->snapshot() : TailSnapshot{};
+    d = decide_slo(t, goals_.tail_goal, current, effective_max_lp(), cfg_.slo);
+    pressure = slo_pressure(t, goals_.tail_goal);
+  } else {
+    const AdgSnapshot g = trackers_.snapshot(now);
+    d = decide(g, goal_abs_, current, effective_max_lp(), cfg_.decision);
+    pressure = goal_pressure(d, goal_abs_, now);
+  }
   last_reason_ = d.reason;
   int applied = d.new_lp;
   if (coord_ != nullptr) {
     // Request even on no-change decisions: the pressure refresh is what lets
     // the coordinator take LP back from tenants that stopped needing it.
-    applied = std::max(
-        1, coord_->request(tenant_, d.new_lp, goal_pressure(d, goal_abs_, now)));
+    applied = std::max(1, coord_->request(tenant_, d.new_lp, pressure));
   } else if (d.new_lp != current) {
     // Record what the pool actually installed (identical to d.new_lp unless
     // a budget cap clamped it), so the action log never shows phantom LPs.

@@ -17,8 +17,17 @@
 // requests) instead of pool.set_target_lp; the controller then plans against
 // its granted share rather than the pool-wide target. Unbound, behavior is
 // identical to the single-controller original.
+//
+// Service (SLO) mode: arm_slo() arms with a tail-latency goal instead of a
+// deadline. The Monitor step is then record_latency() — completed requests
+// feed a per-tenant P² tail tracker — and the Plan step is decide_slo():
+// grants respond to tail pressure (relative p99 miss) continuously, for as
+// long as the stream runs, instead of once per batch deadline. Skeleton
+// events still trigger evaluations while armed in SLO mode, but every
+// evaluation plans from the tail tracker, never the ADG.
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -34,6 +43,8 @@ namespace askel {
 
 struct ControllerConfig {
   DecisionConfig decision;
+  /// SLO-mode decision knobs (used only after arm_slo).
+  SloDecisionConfig slo;
   /// Minimum wall-clock spacing between evaluations (0 = evaluate on every
   /// qualifying event; matches the paper's per-event reactivity).
   Duration min_interval = 0.0;
@@ -64,13 +75,38 @@ class AutonomicController {
 
   /// Arm with a WCT goal anchored at `clock.now()`. `max_lp` 0 = pool max
   /// (or the coordinator budget when bound). When bound, arming claims an
-  /// initial allocation from the coordinator.
-  void arm(Duration wct_goal_seconds, int max_lp = 0);
+  /// initial allocation from the coordinator. Returns false — and stays
+  /// DISARMED, with one kInvalidGoal marker action — when the goal fails
+  /// validate_goals (zero/negative/non-finite): a degenerate deadline would
+  /// otherwise feed unbounded pressure into shared arbitration and starve
+  /// every honest tenant sharing the coordinator.
+  bool arm(Duration wct_goal_seconds, int max_lp = 0);
+  /// Arm with a tail-latency SLO: "quantile(q) of request latency stays
+  /// under tail_goal_seconds". Same validation contract as arm(). A fresh
+  /// tail tracker is created per arm (a new goal starts a new measurement);
+  /// feed it with record_latency() as requests complete.
+  bool arm_slo(Duration tail_goal_seconds, int max_lp = 0, double quantile = 0.99);
+  /// Arm with an explicit goal struct (the general form behind both).
+  bool arm_goals(const QoSGoals& goals);
   /// Disarm. When bound, releases this tenant's allocation back to the
   /// budget (the coordinator re-arbitrates survivors immediately).
   void disarm();
   bool armed() const;
   TimePoint goal_abs() const;
+  /// The armed goal (meaningful while armed; kWct by default).
+  QoSGoals goals() const;
+
+  /// SLO mode: fold in one completed request's latency (seconds) and — when
+  /// the evaluation throttle allows — re-plan from the updated tail. Safe to
+  /// call from any thread (typically the worker completing the request);
+  /// a no-op unless armed in SLO mode.
+  void record_latency(Duration latency);
+  /// SLO mode: consistent view of the tail tracker (zeros when not in SLO
+  /// mode or never armed).
+  TailSnapshot tail_snapshot() const;
+  /// SLO mode: fraction of recorded requests meeting the armed tail goal
+  /// (1.0 when none recorded / not in SLO mode).
+  double slo_attainment() const;
 
   /// Listener adapter; register AFTER the TrackerSet listener so the tracker
   /// has ingested an event before the controller evaluates it.
@@ -111,8 +147,13 @@ class AutonomicController {
 
   mutable std::mutex mu_;
   bool armed_ = false;
+  QoSGoals goals_;
   TimePoint goal_abs_ = 0.0;
   int max_lp_goal_ = 0;
+  /// SLO-mode sensor; rebuilt on every arm_slo (null in WCT mode). Shared
+  /// ptr so record_latency can take a reference without holding mu_ across
+  /// the (internally locked) tracker update.
+  std::shared_ptr<TailTracker> tail_;
   TimePoint last_eval_ = -1.0;
   /// Pool provision-failure counter at the last evaluation (seeded at arm):
   /// an advance means a grow this controller planned (or shared the pool

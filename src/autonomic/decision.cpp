@@ -1,6 +1,7 @@
 #include "autonomic/decision.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "adg/best_effort.hpp"
 #include "adg/limited_lp.hpp"
@@ -19,6 +20,9 @@ std::string to_string(DecisionReason r) {
     case DecisionReason::kDecreaseHalf: return "decrease-half";
     case DecisionReason::kDisarmed: return "disarmed";
     case DecisionReason::kProvisionFailed: return "provision-failed";
+    case DecisionReason::kInvalidGoal: return "invalid-goal";
+    case DecisionReason::kSloIncrease: return "slo-increase";
+    case DecisionReason::kSloDecrease: return "slo-decrease";
   }
   return "?";
 }
@@ -114,9 +118,70 @@ Decision decide(const AdgSnapshot& g, TimePoint goal_abs, int current_lp,
 double goal_pressure(const Decision& d, TimePoint goal_abs, TimePoint now) {
   if (d.current_lp_wct <= 0.0) return 0.0;  // warming up: no estimate yet
   // A goal already in the past compresses the window to epsilon: any
-  // remaining work produces very high (but finite) pressure.
+  // remaining work produces very high (but finite) pressure. Clamped so a
+  // degenerate window cannot push effectively-infinite pressure into a
+  // shared coordinator's arbitration (arm() additionally rejects zero/
+  // negative goals outright — this is the defense in depth behind it).
   const double remaining = std::max(goal_abs - now, 1e-9);
-  return (d.current_lp_wct - goal_abs) / remaining;
+  return std::clamp((d.current_lp_wct - goal_abs) / remaining, -kMaxPressure,
+                    kMaxPressure);
+}
+
+Decision decide_slo(const TailSnapshot& t, Duration tail_goal, int current_lp,
+                    int max_lp, const SloDecisionConfig& cfg) {
+  Decision d;
+  d.new_lp = current_lp;
+  // Reused columns: "best effort" carries the median, "current LP" the tail —
+  // the two latency estimates the decision was made from.
+  d.best_effort_wct = t.median;
+  d.current_lp_wct = t.tail;
+  if (!(tail_goal > 0.0)) {
+    d.reason = DecisionReason::kInvalidGoal;
+    return d;
+  }
+  if (t.observations == 0) {
+    d.reason = DecisionReason::kEmptySnapshot;
+    return d;
+  }
+  if (t.observations < cfg.min_observations) {
+    d.reason = DecisionReason::kIncompleteEstimates;
+    return d;
+  }
+
+  if (t.tail > tail_goal) {
+    // Missing the SLO: grow proportionally to the relative miss (a tail at
+    // 2x the goal wants ~2x the service capacity), at least one thread,
+    // capped by the multiplicative ramp and the LP ceiling.
+    const double ratio = t.tail / tail_goal;
+    const int proportional = static_cast<int>(
+        std::ceil(static_cast<double>(current_lp) * std::min(
+            ratio, static_cast<double>(std::max(1, cfg.ramp_factor)))));
+    const int next = std::min(max_lp, std::max(current_lp + 1, proportional));
+    if (next > current_lp) {
+      d.new_lp = next;
+      d.reason = DecisionReason::kSloIncrease;
+    } else {
+      d.reason = DecisionReason::kNoChange;  // already at the ceiling
+    }
+    return d;
+  }
+
+  if (current_lp > 1 && t.tail < cfg.decrease_margin * tail_goal) {
+    // Comfortably under the SLO: release half, mirroring the paper's
+    // deliberately-slower decrease path.
+    d.new_lp = std::max(1, current_lp / 2);
+    d.reason = DecisionReason::kSloDecrease;
+    return d;
+  }
+
+  d.reason = DecisionReason::kNoChange;
+  return d;
+}
+
+double slo_pressure(const TailSnapshot& t, Duration tail_goal) {
+  if (!(tail_goal > 0.0) || t.observations == 0) return 0.0;
+  return std::clamp((t.tail - tail_goal) / tail_goal, -kMaxPressure,
+                    kMaxPressure);
 }
 
 }  // namespace askel

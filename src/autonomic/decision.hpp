@@ -16,6 +16,7 @@
 
 #include "adg/bounds.hpp"
 #include "adg/snapshot.hpp"
+#include "est/tail_tracker.hpp"
 
 namespace askel {
 
@@ -35,6 +36,12 @@ enum class DecisionReason : int {
                        // timed out). The pool already fell back to the
                        // effective LP and the coordinator clawed the grant
                        // back; this action surfaces the episode in the log.
+  kInvalidGoal,        // arm() rejected the goal (zero/negative/non-finite
+                       // time target — see validate_goals): the controller
+                       // stays disarmed rather than feeding a degenerate
+                       // deadline's unbounded pressure into arbitration.
+  kSloIncrease,        // tail-latency estimate above the SLO: grow LP
+  kSloDecrease,        // tail comfortably under the SLO: try half the threads
 };
 
 std::string to_string(DecisionReason r);
@@ -72,6 +79,43 @@ Decision decide(const AdgSnapshot& g, TimePoint goal_abs, int current_lp,
 /// deadline. Positive = missing (1.0 means "late by the whole remaining
 /// window"), negative = slack, 0 = no estimate yet. The LP-budget coordinator
 /// arbitrates contested LP by this value: the widest relative miss wins.
+/// Clamped to [-kMaxPressure, kMaxPressure], so even a degenerate window
+/// (goal already long past) produces large-but-bounded pressure that
+/// arbitration arithmetic can order without overflow.
 double goal_pressure(const Decision& d, TimePoint goal_abs, TimePoint now);
+
+/// Ceiling on the magnitude any pressure function reports. Large enough that
+/// real contention never saturates it, small enough that sums over a demand
+/// vector stay comfortably finite.
+inline constexpr double kMaxPressure = 1.0e6;
+
+/// How the SLO controller steers LP from a tail-latency snapshot. The shape
+/// mirrors the paper's WCT controller transposed to the latency domain:
+/// multiplicative increase proportional to the relative SLO miss (a tail at
+/// 2x the goal wants roughly twice the service rate), halving decrease only
+/// when the tail sits far enough under the goal that half the threads have
+/// headroom to absorb the shift.
+struct SloDecisionConfig {
+  /// Observations before the tracker is trusted to steer (a P² estimate from
+  /// a handful of samples is noise; grants should not chase it).
+  long min_observations = 16;
+  /// Decrease only when tail < decrease_margin * goal (and LP > 1).
+  double decrease_margin = 0.5;
+  /// Cap on the multiplicative step of one increase decision.
+  int ramp_factor = 2;
+};
+
+/// Decide the LP for a service tenant from its tail-latency snapshot and SLO
+/// goal (seconds). Pure and deterministic, like decide(). The returned
+/// Decision reuses best_effort_wct/current_lp_wct to carry the median/tail
+/// estimates (the action log's "what the controller saw" columns).
+Decision decide_slo(const TailSnapshot& t, Duration tail_goal, int current_lp,
+                    int max_lp, const SloDecisionConfig& cfg = {});
+
+/// SLO pressure: relative tail miss (tail - goal) / goal. Positive = missing
+/// the SLO, negative = slack, 0 = warming up or no goal. Same scale and sign
+/// convention as goal_pressure, so batch and service tenants arbitrate
+/// against each other on one axis; clamped to +-kMaxPressure.
+double slo_pressure(const TailSnapshot& t, Duration tail_goal);
 
 }  // namespace askel

@@ -1,22 +1,68 @@
 #pragma once
-// QoS goals supported by the autonomic layer (paper §4): Wall Clock Time and
-// Level of Parallelism. "If the system realizes that it won't target the WCT
-// goal with the current LP, but it will do if the LP is increased, it
-// autonomically increases the LP... To avoid potential overloading of the
-// system, it is possible to define a maximum LP."
+// QoS goals supported by the autonomic layer.
+//
+// Batch goals (paper §4): Wall Clock Time and Level of Parallelism. "If the
+// system realizes that it won't target the WCT goal with the current LP, but
+// it will do if the LP is increased, it autonomically increases the LP... To
+// avoid potential overloading of the system, it is possible to define a
+// maximum LP."
+//
+// Service goals (PR 9): a continuously running tenant serving an open-loop
+// request stream has no single completion time to target — its goal is a
+// latency SLO, "the q-quantile (default p99) of per-request latency stays
+// under T seconds", evaluated by a streaming tail tracker while the stream
+// runs. The controller then plans LP from tail pressure instead of a
+// deadline (see decide_slo in decision.hpp).
 
+#include <cmath>
 #include <optional>
 
 #include "util/clock.hpp"
 
 namespace askel {
 
+enum class GoalKind : int {
+  /// One batch execution must finish within wct_goal seconds of arming.
+  kWct = 0,
+  /// The tail_quantile of per-request latency must stay under tail_goal.
+  kTailLatency = 1,
+};
+
 struct QoSGoals {
+  GoalKind kind = GoalKind::kWct;
   /// Desired wall-clock time for one skeleton execution, in seconds relative
-  /// to the moment the controller is armed.
+  /// to the moment the controller is armed (kWct).
   Duration wct_goal = 0.0;
+  /// Target tail latency in seconds (kTailLatency): the SLO is
+  /// "quantile(tail_quantile) of request latency <= tail_goal".
+  Duration tail_goal = 0.0;
+  /// Which latency quantile the SLO constrains (kTailLatency), in (0,1).
+  double tail_quantile = 0.99;
   /// Hard LP ceiling. 0 means "use the pool's max_lp".
   int max_lp = 0;
 };
+
+/// nullptr when `g` is a goal the controller can arm with; otherwise a static
+/// string naming the defect. A zero/negative (or non-finite) time goal is
+/// rejected here rather than clamped downstream: it would otherwise compress
+/// the pressure denominator to epsilon and feed effectively unbounded
+/// pressure into a shared coordinator's arbitration, starving every honest
+/// tenant (see the zero-goal regression tests).
+inline const char* validate_goals(const QoSGoals& g) {
+  if (g.max_lp < 0) return "max_lp must be >= 0";
+  switch (g.kind) {
+    case GoalKind::kWct:
+      if (!(g.wct_goal > 0.0) || !std::isfinite(g.wct_goal))
+        return "wct_goal must be a positive, finite duration";
+      return nullptr;
+    case GoalKind::kTailLatency:
+      if (!(g.tail_goal > 0.0) || !std::isfinite(g.tail_goal))
+        return "tail_goal must be a positive, finite duration";
+      if (!(g.tail_quantile > 0.0 && g.tail_quantile < 1.0))
+        return "tail_quantile must be in (0,1)";
+      return nullptr;
+  }
+  return "unknown goal kind";
+}
 
 }  // namespace askel

@@ -8,7 +8,9 @@
 // events too.
 
 #include <atomic>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "skel/node.hpp"
@@ -16,9 +18,24 @@
 namespace askel::detail {
 
 struct JoinState {
-  explicit JoinState(std::size_t n) : remaining(static_cast<int>(n)), results(n) {}
+  explicit JoinState(std::size_t n) : remaining(checked_count(n)), results(n) {}
   std::atomic<int> remaining;
   AnyVec results;
+
+ private:
+  /// An empty fan-out has no child to ever call arrive(), so a JoinState for
+  /// it would wait forever — the fan-out nodes run their merge inline when
+  /// the split produces zero parts and must never construct one. The check
+  /// turns a silent hang into an immediate error if a future caller forgets.
+  /// The upper guard keeps the size_t -> int narrowing honest.
+  static int checked_count(std::size_t n) {
+    if (n == 0)
+      throw std::logic_error(
+          "JoinState: empty fan-out — run the merge inline instead of joining");
+    if (n > static_cast<std::size_t>(std::numeric_limits<int>::max()))
+      throw std::length_error("JoinState: fan-out exceeds INT_MAX children");
+    return static_cast<int>(n);
+  }
 };
 
 using JoinPtr = std::shared_ptr<JoinState>;

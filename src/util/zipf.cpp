@@ -21,14 +21,29 @@ ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s) {
 
 std::size_t ZipfDistribution::operator()(std::mt19937_64& rng) const {
   std::uniform_real_distribution<double> uni(0.0, 1.0);
-  const double u = uni(rng);
+  return rank(uni(rng));
+}
+
+std::size_t ZipfDistribution::rank(double u) const {
+  // lower_bound returns end() when u exceeds every cumulative value. The
+  // constructor pins cdf_.back() to exactly 1.0, but accumulated rounding in
+  // CALLER arithmetic (and uniform_real_distribution implementations that
+  // can emit the closed upper bound) still make u == 1.0 — or a hair above —
+  // reachable; clamp instead of indexing one past the last rank.
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
   return static_cast<std::size_t>(it - cdf_.begin());
 }
 
 double ZipfDistribution::pmf(std::size_t k) const {
   assert(k < cdf_.size());
   return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+std::vector<double> ZipfDistribution::rates(double total) const {
+  std::vector<double> out(cdf_.size());
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = total * pmf(k);
+  return out;
 }
 
 }  // namespace askel

@@ -3,7 +3,9 @@
 //
 // The paper's evaluation counts hashtags and commented-users in 1.2 M tweets;
 // real social-media token frequencies are Zipfian. The synthetic corpus
-// (workload/tweets.*) uses this sampler so per-chunk work has realistic skew.
+// (workload/tweets.*) uses this sampler so per-chunk work has realistic skew,
+// and the service workload (workload/service.*) splits per-tenant request
+// arrival rates by the same law — tenant popularity is Zipfian too.
 
 #include <cstdint>
 #include <random>
@@ -20,11 +22,22 @@ class ZipfDistribution {
 
   std::size_t operator()(std::mt19937_64& rng) const;
 
+  /// Rank for a uniform draw `u`. The cumulative sum is built in floating
+  /// point, so the last bin is pinned to exactly 1.0 AND the search result is
+  /// clamped: even a draw at (or, through caller arithmetic, fractionally
+  /// above) 1.0 maps to the last rank instead of falling past the table.
+  std::size_t rank(double u) const;
+
   std::size_t n() const { return cdf_.size(); }
   double s() const { return s_; }
 
   /// Exact probability mass of rank k (for tests).
   double pmf(std::size_t k) const;
+
+  /// Per-rank split of an aggregate arrival rate: rate_k = total * pmf(k).
+  /// Deterministic (built from the exact pmf, no sampling) — the service
+  /// workload uses this to skew per-tenant request rates by popularity.
+  std::vector<double> rates(double total) const;
 
  private:
   double s_ = 1.0;

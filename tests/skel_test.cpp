@@ -8,6 +8,7 @@
 #include <set>
 #include <thread>
 
+#include "skel/detail/join.hpp"
 #include "skel/trace.hpp"
 #include "skel/typed.hpp"
 
@@ -206,6 +207,37 @@ TEST_F(SkelTest, DacMergesortSortsCorrectly) {
   Vec expected = input;
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(skel.input(input, engine_).get(), expected);
+}
+
+TEST_F(SkelTest, DacWithEmptySplitRunsMergeOnEmptyList) {
+  // Condition says divide, but the split produces zero children: the merge
+  // must run inline on the empty list (no join to wait on) and the future
+  // still resolves.
+  auto fc = condition_muscle<int>("once", [](const int& x) { return x > 0; });
+  auto fs = split_muscle<int, int>("fs", [](int) { return std::vector<int>{}; });
+  auto leaf = execute_muscle<int, int>("leaf", [](int x) { return x; });
+  auto fm = merge_muscle<int, int>(
+      "fm", [](std::vector<int> v) { return static_cast<int>(v.size()) - 7; });
+  EXPECT_EQ(DaC(fc, fs, Seq(leaf), fm).input(1, engine_).get(), -7);
+}
+
+TEST_F(SkelTest, ForkWithEmptySplitRunsMergeOnEmptyList) {
+  auto fs = split_muscle<int, int>("fs", [](int) { return std::vector<int>{}; });
+  auto fe = execute_muscle<int, int>("fe", [](int x) { return x; });
+  auto fm = merge_muscle<int, int>(
+      "fm", [](std::vector<int> v) { return static_cast<int>(v.size()) + 40; });
+  EXPECT_EQ(Fork(fs, std::vector{Seq(fe)}, fm).input(5, engine_).get(), 40);
+}
+
+TEST(JoinState, RejectsEmptyFanOut) {
+  // The fan-in counter narrows size_t to int and decrements to zero; n == 0
+  // would start AT zero (merge never fires — or double-fires, depending on
+  // the arrive order). Every caller handles the empty split inline before
+  // constructing a join; the guard turns a silent hang into a loud bug.
+  EXPECT_THROW(detail::JoinState(0), std::logic_error);
+  const detail::JoinState ok(3);
+  EXPECT_EQ(ok.remaining.load(), 3);
+  EXPECT_EQ(ok.results.size(), 3u);
 }
 
 TEST_F(SkelTest, DacLeafOnlyWhenConditionImmediatelyFalse) {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <thread>
+#include <vector>
 
 #include "util/clock.hpp"
 #include "util/csv.hpp"
@@ -147,6 +148,45 @@ TEST(Zipf, HigherSkewConcentratesOnRankZero) {
 
 TEST(Zipf, RejectsEmptySupport) {
   EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, BoundaryDrawsStayInRange) {
+  // The cumulative table is a float cumsum; the final bin is pinned to
+  // exactly 1.0 AND rank() clamps past-the-end results, so a draw at (or
+  // arithmetically above) 1.0 maps to the last rank instead of indexing
+  // past the table.
+  const ZipfDistribution z(7, 1.3);
+  EXPECT_EQ(z.rank(1.0), 6u);
+  EXPECT_EQ(z.rank(std::nextafter(1.0, 2.0)), 6u);
+  EXPECT_EQ(z.rank(1.5), 6u);
+  EXPECT_EQ(z.rank(0.0), 0u);
+  for (const double u : {0.1, 0.5, 0.9, 0.999999999999}) {
+    EXPECT_LT(z.rank(u), 7u);
+  }
+}
+
+TEST(Zipf, BoundaryHoldsUnderAdverseParameters) {
+  // Large support + strong skew piles float rounding into the cumsum; the
+  // pin/clamp pair must still hold the edge for every support size.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{1000},
+                              std::size_t{100000}}) {
+    const ZipfDistribution z(n, 2.5);
+    EXPECT_EQ(z.rank(1.0), n - 1);
+    EXPECT_EQ(z.rank(std::nextafter(1.0, 2.0)), n - 1);
+  }
+}
+
+TEST(Zipf, RatesSplitTotalByPmf) {
+  const ZipfDistribution z(4, 1.0);
+  const std::vector<double> r = z.rates(100.0);
+  ASSERT_EQ(r.size(), 4u);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    EXPECT_NEAR(r[k], 100.0 * z.pmf(k), 1e-9);
+    sum += r[k];
+  }
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+  EXPECT_GT(r[0], r[3]);  // hottest rank gets the biggest share
 }
 
 TEST(Zipf, EmpiricalFrequencyTracksPmf) {
