@@ -29,10 +29,19 @@ def get(d, *path):
     return d
 
 
-def ratio(num, den):
-    if num is None or den is None or not den:
+def num(x):
+    """A JSON leaf is only usable as a metric if it is a real number.
+    Strings, nulls, objects and booleans (json's `true` IS a Python int!)
+    all collapse to None so the caller skips instead of raising TypeError
+    in a comparison."""
+    return x if isinstance(x, (int, float)) and not isinstance(x, bool) else None
+
+
+def ratio(a, b):
+    a, b = num(a), num(b)
+    if a is None or b is None or b == 0:
         return None
-    return num / den
+    return a / b
 
 
 def snapshot_incremental(d):
@@ -49,10 +58,21 @@ def snapshot_clean(d):
 
 def lease_batch_speedup(d):
     """Batched (K=16) remote bracket throughput vs K=1. Higher is better."""
-    for row in get(d, "transport", "lease_batching") or []:
-        if row.get("lease_batch") == 16:
-            return row.get("speedup_vs_k1")
+    rows = get(d, "transport", "lease_batching")
+    if not isinstance(rows, list):
+        return None  # section absent or malformed (e.g. an error object)
+    for row in rows:
+        if isinstance(row, dict) and row.get("lease_batch") == 16:
+            return num(row.get("speedup_vs_k1"))
     return None
+
+
+def tcp_batching_speedup(d):
+    """TCP-loopback bracket throughput at lease_batch 16 vs 1 (PR 10).
+    The TCP twin of lease_batching_k16_speedup: a within-run ratio on the
+    same socket, so machine speed cancels. Higher is better."""
+    return ratio(get(d, "transport", "tcp", "tasks_per_sec_k16"),
+                 get(d, "transport", "tcp", "tasks_per_sec_k1"))
 
 
 def inject_contended(d):
@@ -76,14 +96,23 @@ def slo_attainment_ratio(d):
     return get(d, "service", "attainment_ratio")
 
 
-# (name, extractor, higher_is_better)
+# (name, extractor, higher_is_better, tolerance_override)
+# tolerance_override (None = use --tolerance): the CI gate compares a
+# FULL-mode checked-in baseline against a --smoke current run; most
+# metrics are within-run ratios that survive that, but the smoke service
+# scenario replays a structurally shorter/slower stream (1.5 s @ 80 Hz vs
+# 4 s @ 150 Hz), which alone shifts the attainment A/B by ~25% — the PR 9
+# gate passed with a 0.2% margin. 0.5 keeps real breakage (the ratio
+# collapsing toward 1.0 = "no better than FIFO") failing loudly without
+# flaking on the known full-vs-smoke offset.
 METRICS = [
-    ("snapshot_incremental_vs_full", snapshot_incremental, False),
-    ("snapshot_clean_vs_dirty", snapshot_clean, False),
-    ("lease_batching_k16_speedup", lease_batch_speedup, True),
-    ("inject_contended_vs_single", inject_contended, True),
-    ("arbitration_flatness_ratio", arbitration_flatness, False),
-    ("slo_attainment_ratio", slo_attainment_ratio, True),
+    ("snapshot_incremental_vs_full", snapshot_incremental, False, None),
+    ("snapshot_clean_vs_dirty", snapshot_clean, False, None),
+    ("lease_batching_k16_speedup", lease_batch_speedup, True, None),
+    ("tcp_batching_k16_speedup", tcp_batching_speedup, True, None),
+    ("inject_contended_vs_single", inject_contended, True, None),
+    ("arbitration_flatness_ratio", arbitration_flatness, False, None),
+    ("slo_attainment_ratio", slo_attainment_ratio, True, 0.5),
 ]
 
 
@@ -116,22 +145,37 @@ def main():
 
     failures = []
     compared = 0
-    for name, extract, higher_better in METRICS:
-        b, c = extract(base), extract(cur)
-        if b is None or c is None or b <= 0:
+    for name, extract, higher_better, tol_override in METRICS:
+        # Extractors are defensive (get()/ratio()/num() absorb missing
+        # sections and wrong-typed leaves), but a future bench-JSON shape
+        # change must surface as a named metric error, not a traceback.
+        try:
+            b, c = num(extract(base)), num(extract(cur))
+        except Exception as e:  # pragma: no cover - belt and braces
+            sys.exit(f"error: metric '{name}' could not be read "
+                     f"({type(e).__name__}: {e}).\n"
+                     "Hint: the bench JSON layout changed; update the "
+                     "extractor in bench/check_regression.py to match.")
+        if b is None or c is None:
             print(f"SKIP {name}: baseline={b} current={c} "
                   "(metric missing from one side — environment gap, "
                   "not a regression)")
             continue
+        if b <= 0:
+            print(f"SKIP {name}: baseline={b} is not positive — a zero "
+                  "baseline has no meaningful 'percent change'; re-generate "
+                  "the checked-in baseline on a working machine")
+            continue
         compared += 1
+        tolerance = args.tolerance if tol_override is None else tol_override
         change = (c - b) / b
         if higher_better:
-            regressed = change < -args.tolerance
+            regressed = change < -tolerance
         else:
-            regressed = change > args.tolerance
+            regressed = change > tolerance
         verdict = "FAIL" if regressed else "ok"
         print(f"{verdict:4} {name}: baseline={b:.4f} current={c:.4f} "
-              f"change={change:+.1%} (tolerance ±{args.tolerance:.0%}, "
+              f"change={change:+.1%} (tolerance ±{tolerance:.0%}, "
               f"{'higher' if higher_better else 'lower'} is better)")
         if regressed:
             failures.append(name)

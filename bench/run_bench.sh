@@ -27,7 +27,10 @@
 #   * latency-SLO service (PR 9): the seeded open-loop request stream with a
 #     p99 goal against a flooding aggressor, coordinated (tail-driven grants
 #     + weighted dispatch) vs the FIFO baseline — per-tenant attainment
-#     curves and the attainment ratio the regression gate tracks.
+#     curves and the attainment ratio the regression gate tracks,
+#   * TCP transport (PR 10): the bracket churn over a real loopback socket at
+#     lease_batch 1 and 16, connect->Hello join latency and the named-muscle
+#     echo round trip (rides inside <out>.transport.json's "tcp" section).
 # The per-scenario raw JSONs are kept next to the output
 # (<out>.pressure.json / <out>.weighted.json / <out>.aggressor.json /
 # <out>.estimators.json / <out>.transport.json / <out>.scaling.json /
@@ -36,7 +39,7 @@
 # Usage: bench/run_bench.sh [--smoke] [output.json]
 #   --smoke: CI smoke mode — tiny iteration counts, no timing assertions;
 #            proves the bench pipeline runs and uploads an inspectable JSON.
-#   default output: BENCH_PR9.json in cwd.
+#   default output: BENCH_PR10.json in cwd.
 
 set -euo pipefail
 
@@ -48,7 +51,7 @@ for arg in "$@"; do
     *) out_json="${arg}" ;;
   esac
 done
-out_json="${out_json:-BENCH_PR9.json}"
+out_json="${out_json:-BENCH_PR10.json}"
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
@@ -173,7 +176,7 @@ def items_per_sec(name):
     return round(b["items_per_second"]) if b and "items_per_second" in b else None
 
 out = {
-    "pr": 9,
+    "pr": 10,
     "smoke": sys.argv[6] == "1",
     "context": raw.get("context", {}),
     "event_dispatch_ns": {

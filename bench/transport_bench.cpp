@@ -11,7 +11,10 @@
 //     without a live subprocess session (the submit/complete round trip);
 //   * fig5 scenario (goal without initialization) under --backend thread and
 //     --backend subprocess: same LP decision kinds, wct, goal, peak busy —
-//     the "same decisions end-to-end" acceptance check.
+//     the "same decisions end-to-end" acceptance check;
+//   * tcp (PR 10): the same bracket churn over a real loopback TCP socket at
+//     lease_batch 1 and 16, connect->Hello join latency, and the named-muscle
+//     (kSubmitNamed/kResultNamed) echo round trip.
 //
 // Usage: transport_bench [--smoke] [--scale X] [--tweets N]
 
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "runtime/subprocess_backend.hpp"
+#include "runtime/tcp_transport.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/csv.hpp"
 #include "workload/wordcount.hpp"
@@ -92,6 +96,68 @@ double measure_churn(ResizableThreadPool& pool, int tasks) {
   pool.wait_idle();
   const double dt = now_s() - t0;
   return done.load() == tasks && dt > 0.0 ? tasks / dt : 0.0;
+}
+
+// TCP loopback (PR 10): the same 1-worker bracket churn over a real TCP
+// socket (K=1 and K=16), connect->Hello join latency next to the
+// fork->Hello number, and the named-muscle round trip (the dialect the
+// subprocess transport cannot execute).
+struct TcpNumbers {
+  bool available = false;        // host failed to bind -> section omitted
+  double join_mean_us = 0.0;     // connect -> Hello, mean over sessions
+  double tps_k1 = 0.0;           // submit/complete brackets per sec, K=1
+  double tps_k16 = 0.0;          // ... with 16 brackets per lease
+  double named_rt_us = 0.0;      // mean echo-muscle call round trip
+};
+
+TcpNumbers measure_tcp(int churn_tasks, int named_calls) {
+  TcpNumbers out;
+  MuscleTable table;
+  const WireMuscleId echo_id =
+      table.register_muscle("bench.echo", [](const PodValue& v) { return v; });
+  TcpWorkerHost host(table);
+  if (!host.listening()) return out;
+  std::vector<double> joins;
+  for (const int k_batch : {1, 16}) {
+    TcpBackendConfig cfg;
+    cfg.port = host.port();
+    cfg.max_workers = 1;
+    cfg.lease_batch = k_batch;
+    TcpBackend backend(cfg);
+    ResizableThreadPool pool(1, 1);
+    pool.set_backend(&backend);
+    const double deadline = now_s() + 10.0;
+    while (backend.live_sessions() < 1 && now_s() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const double tps = measure_churn(pool, churn_tasks);
+    if (k_batch == 1) {
+      out.tps_k1 = tps;
+      // Named round trips through the now-idle K=1 session.
+      const double t0 = now_s();
+      int ok = 0;
+      for (int k = 0; k < named_calls; ++k) {
+        const NamedCallResult r =
+            backend.call_named(0, echo_id, PodValue::of_i64(k));
+        if (r.transported && r.status == NamedStatus::kOk) ++ok;
+      }
+      const double dt = now_s() - t0;
+      if (ok == named_calls && named_calls > 0 && dt > 0.0) {
+        out.named_rt_us = dt * 1e6 / named_calls;
+      }
+    } else {
+      out.tps_k16 = tps;
+    }
+    const std::vector<double> j = backend.transport_factory().join_latencies_us();
+    joins.insert(joins.end(), j.begin(), j.end());
+    pool.set_backend(nullptr);
+  }
+  if (!joins.empty()) {
+    out.join_mean_us = std::accumulate(joins.begin(), joins.end(), 0.0) /
+                       static_cast<double>(joins.size());
+  }
+  out.available = true;
+  return out;
 }
 
 struct FigNumbers {
@@ -212,6 +278,9 @@ int main(int argc, char** argv) {
     pool.set_backend(nullptr);
   }
 
+  const TcpNumbers tcp =
+      measure_tcp(churn_tasks, /*named_calls=*/smoke ? 200 : 2000);
+
   const FigNumbers fig_thread = run_fig5(ScenarioBackend::kThread, scale, tweets);
   const FigNumbers fig_sub =
       run_fig5(ScenarioBackend::kSubprocess, scale, tweets);
@@ -252,6 +321,21 @@ int main(int argc, char** argv) {
               << "}" << (k + 1 < batch_ks.size() ? "," : "") << "\n";
   }
   std::cout << "  ],\n";
+  std::cout << "  \"tcp\": {\n";
+  std::cout << "    \"available\": " << (tcp.available ? "true" : "false")
+            << ",\n";
+  std::cout << "    \"join_mean_us\": " << fmt(tcp.join_mean_us, 1) << ",\n";
+  std::cout << "    \"tasks_per_sec_k1\": " << fmt(tcp.tps_k1, 0) << ",\n";
+  std::cout << "    \"tasks_per_sec_k16\": " << fmt(tcp.tps_k16, 0) << ",\n";
+  std::cout << "    \"speedup_k16_vs_k1\": "
+            << fmt(tcp.tps_k1 > 0.0 ? tcp.tps_k16 / tcp.tps_k1 : 0.0, 3)
+            << ",\n";
+  std::cout << "    \"named_round_trip_us\": " << fmt(tcp.named_rt_us, 1)
+            << ",\n";
+  std::cout << "    \"tcp_vs_subprocess_k1\": "
+            << fmt(subprocess_tps > 0.0 ? tcp.tps_k1 / subprocess_tps : 0.0, 3)
+            << "\n";
+  std::cout << "  },\n";
   print_fig("fig5_thread", fig_thread);
   std::cout << ",\n";
   print_fig("fig5_subprocess", fig_sub);
@@ -264,6 +348,7 @@ int main(int argc, char** argv) {
   const bool ok = fig_thread.res.counts == fig_thread.res.expected &&
                   fig_sub.res.counts == fig_sub.res.expected &&
                   fig_thread.res.peak_busy > 1 && fig_sub.res.peak_busy > 1 &&
-                  fig_sub.provision_failures == 0;
+                  fig_sub.provision_failures == 0 && tcp.available &&
+                  tcp.tps_k1 > 0.0 && tcp.named_rt_us > 0.0;
   return ok ? 0 : 1;
 }

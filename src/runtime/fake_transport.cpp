@@ -122,22 +122,54 @@ class FakeWorkerTransport final : public Transport {
     }
   }
 
-  bool recv(WireFrame& out, Duration timeout) override {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::duration<double>(std::max(0.0, timeout));
-    for (;;) {
-      {
-        std::lock_guard lock(st_.mu);
-        const std::int64_t now = st_.now_us();
-        if (pop_due_locked(now, out)) return true;
-        if (!alive_) return false;
-      }
-      // Virtual time never waits: nothing is due at this instant and only
-      // the test can advance the clock. Real time polls until the deadline.
-      if (st_.plan.virtual_time) return false;
-      if (std::chrono::steady_clock::now() >= deadline) return false;
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  bool send(const WireFrame& f, const std::uint8_t* payload,
+            std::size_t size) override {
+    if (!frame_has_payload(f.type)) return size == 0 ? send(f) : false;
+    std::lock_guard lock(st_.mu);
+    const std::int64_t now = st_.now_us();
+    if (!alive_) {
+      st_.log(now, worker_, std::string("send ") + to_string(f.type) +
+                                " -> dead link");
+      return false;
     }
+    // Named submits share the per-worker submit counter, so a crash-on-Nth
+    // plan fires identically whichever dialect the Nth submission used.
+    ++submits_;
+    st_.log(now, worker_,
+            "submit-named seq=" + std::to_string(f.seq) + " id=" +
+                std::to_string(f.a) + " len=" + std::to_string(size));
+    if (worker_ == st_.plan.crash_worker && st_.plan.crash_on_nth_task > 0 &&
+        submits_ >= st_.plan.crash_on_nth_task) {
+      alive_ = false;
+      st_.log(now, worker_, "crash on task " + std::to_string(submits_));
+      return true;
+    }
+    if (st_.in_partition(now)) {
+      st_.log(now, worker_, "submit-named seq=" + std::to_string(f.seq) +
+                                " lost in partition");
+      return true;
+    }
+    // The fake worker "executes" by echoing the argument back as the
+    // result: deterministic, and round-trips the codec end to end.
+    Msg m{now + to_us(st_.plan.complete_latency), st_.next_order++,
+          WireFrame{WireFrameType::kResultNamed,
+                    static_cast<std::uint32_t>(worker_), f.seq,
+                    static_cast<std::uint64_t>(NamedStatus::kOk),
+                    static_cast<std::uint64_t>(size)},
+          std::vector<std::uint8_t>(payload, payload + size)};
+    st_.log(now, worker_, "result-named seq=" + std::to_string(f.seq) +
+                              " due t=" + std::to_string(m.due_us));
+    inbox_.push_back(std::move(m));
+    return true;
+  }
+
+  bool recv(WireFrame& out, Duration timeout) override {
+    return recv_impl(out, nullptr, timeout);
+  }
+
+  bool recv(WireFrame& out, std::vector<std::uint8_t>& payload,
+            Duration timeout) override {
+    return recv_impl(out, &payload, timeout);
   }
 
   bool alive() const override {
@@ -156,10 +188,30 @@ class FakeWorkerTransport final : public Transport {
     std::int64_t due_us;
     std::uint64_t order;
     WireFrame frame;
+    std::vector<std::uint8_t> payload;  // kResultNamed only
   };
 
+  bool recv_impl(WireFrame& out, std::vector<std::uint8_t>* payload,
+                 Duration timeout) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(std::max(0.0, timeout));
+    for (;;) {
+      {
+        std::lock_guard lock(st_.mu);
+        const std::int64_t now = st_.now_us();
+        if (pop_due_locked(now, out, payload)) return true;
+        if (!alive_) return false;
+      }
+      // Virtual time never waits: nothing is due at this instant and only
+      // the test can advance the clock. Real time polls until the deadline.
+      if (st_.plan.virtual_time) return false;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
   void deliver_later_locked(const WireFrame& f, std::int64_t due_us) {
-    inbox_.push_back(Msg{due_us, st_.next_order++, f});
+    inbox_.push_back(Msg{due_us, st_.next_order++, f, {}});
   }
 
   void schedule_completion_locked(std::int64_t now, std::uint64_t seq) {
@@ -184,7 +236,7 @@ class FakeWorkerTransport final : public Transport {
     if (hits(st_.plan.reorder_complete_every)) {
       st_.log(now, worker_,
               "complete seq=" + std::to_string(seq) + " held for reorder");
-      held_ = Msg{due, st_.next_order++, c};
+      held_ = Msg{due, st_.next_order++, c, {}};
       return;
     }
     deliver_later_locked(c, due);
@@ -209,7 +261,8 @@ class FakeWorkerTransport final : public Transport {
     }
   }
 
-  bool pop_due_locked(std::int64_t now, WireFrame& out) {
+  bool pop_due_locked(std::int64_t now, WireFrame& out,
+                      std::vector<std::uint8_t>* payload) {
     for (;;) {
       std::size_t best = inbox_.size();
       for (std::size_t k = 0; k < inbox_.size(); ++k) {
@@ -234,6 +287,9 @@ class FakeWorkerTransport final : public Transport {
                                 to_string(m.frame.type) + " seq=" +
                                 std::to_string(m.frame.seq));
       out = m.frame;
+      if (payload != nullptr) {
+        *payload = std::move(m.payload);
+      }
       return true;
     }
   }

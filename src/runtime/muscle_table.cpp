@@ -1,0 +1,201 @@
+#include "runtime/muscle_table.hpp"
+
+#include <cstring>
+
+namespace askel {
+
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k) p[k] = static_cast<std::uint8_t>(v >> (8 * k));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int k = 0; k < 8; ++k) v |= static_cast<std::uint64_t>(p[k]) << (8 * k);
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(PodTag t) {
+  switch (t) {
+    case PodTag::kVoid: return "void";
+    case PodTag::kI64: return "i64";
+    case PodTag::kU64: return "u64";
+    case PodTag::kF64: return "f64";
+    case PodTag::kBytes: return "bytes";
+  }
+  return "unknown";
+}
+
+PodValue PodValue::of_i64(std::int64_t v) {
+  PodValue p;
+  p.tag_ = PodTag::kI64;
+  p.i_ = v;
+  return p;
+}
+
+PodValue PodValue::of_u64(std::uint64_t v) {
+  PodValue p;
+  p.tag_ = PodTag::kU64;
+  p.u_ = v;
+  return p;
+}
+
+PodValue PodValue::of_f64(double v) {
+  PodValue p;
+  p.tag_ = PodTag::kF64;
+  p.f_ = v;
+  return p;
+}
+
+PodValue PodValue::of_bytes(std::string v) {
+  PodValue p;
+  p.tag_ = PodTag::kBytes;
+  p.b_ = std::move(v);
+  return p;
+}
+
+std::vector<std::uint8_t> encode_pod(const PodValue& v) {
+  std::size_t body_len = 0;
+  switch (v.tag()) {
+    case PodTag::kVoid: body_len = 0; break;
+    case PodTag::kI64:
+    case PodTag::kU64:
+    case PodTag::kF64: body_len = 8; break;
+    case PodTag::kBytes: body_len = v.as_bytes().size(); break;
+  }
+  std::vector<std::uint8_t> out(kPodHeaderSize + body_len, 0);
+  out[0] = kPodCodecVersion;
+  out[1] = static_cast<std::uint8_t>(v.tag());
+  // out[2..3] reserved, already zero
+  put_u32(out.data() + 4, static_cast<std::uint32_t>(body_len));
+  std::uint8_t* body = out.data() + kPodHeaderSize;
+  switch (v.tag()) {
+    case PodTag::kVoid:
+      break;
+    case PodTag::kI64:
+      put_u64(body, static_cast<std::uint64_t>(v.as_i64()));
+      break;
+    case PodTag::kU64:
+      put_u64(body, v.as_u64());
+      break;
+    case PodTag::kF64: {
+      const double d = v.as_f64();
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(double));
+      std::memcpy(&bits, &d, sizeof(bits));
+      put_u64(body, bits);
+      break;
+    }
+    case PodTag::kBytes:
+      if (body_len > 0) std::memcpy(body, v.as_bytes().data(), body_len);
+      break;
+  }
+  return out;
+}
+
+bool decode_pod(const std::uint8_t* wire, std::size_t size, PodValue& out) {
+  if (wire == nullptr || size < kPodHeaderSize) return false;
+  if (wire[0] != kPodCodecVersion) return false;
+  const std::uint8_t raw_tag = wire[1];
+  if (raw_tag > static_cast<std::uint8_t>(PodTag::kBytes)) return false;
+  if (wire[2] != 0 || wire[3] != 0) return false;
+  const std::uint32_t body_len = get_u32(wire + 4);
+  // Exact framing: a value is the WHOLE buffer, no trailing bytes.
+  if (size != kPodHeaderSize + static_cast<std::size_t>(body_len)) return false;
+  const std::uint8_t* body = wire + kPodHeaderSize;
+  switch (static_cast<PodTag>(raw_tag)) {
+    case PodTag::kVoid:
+      if (body_len != 0) return false;
+      out = PodValue::of_void();
+      return true;
+    case PodTag::kI64:
+      if (body_len != 8) return false;
+      out = PodValue::of_i64(static_cast<std::int64_t>(get_u64(body)));
+      return true;
+    case PodTag::kU64:
+      if (body_len != 8) return false;
+      out = PodValue::of_u64(get_u64(body));
+      return true;
+    case PodTag::kF64: {
+      if (body_len != 8) return false;
+      const std::uint64_t bits = get_u64(body);
+      double d = 0.0;
+      std::memcpy(&d, &bits, sizeof(d));
+      out = PodValue::of_f64(d);
+      return true;
+    }
+    case PodTag::kBytes:
+      out = PodValue::of_bytes(
+          std::string(reinterpret_cast<const char*>(body), body_len));
+      return true;
+  }
+  return false;
+}
+
+WireMuscleId MuscleTable::register_muscle(std::string name, Fn fn) {
+  std::lock_guard lock(mu_);
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    if (entries_[k].name == name) {
+      entries_[k].fn = std::make_shared<Fn>(std::move(fn));
+      return static_cast<WireMuscleId>(k + 1);
+    }
+  }
+  entries_.push_back(Entry{std::move(name), std::make_shared<Fn>(std::move(fn))});
+  return static_cast<WireMuscleId>(entries_.size());
+}
+
+std::optional<WireMuscleId> MuscleTable::id_of(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    if (entries_[k].name == name) return static_cast<WireMuscleId>(k + 1);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> MuscleTable::name_of(WireMuscleId id) const {
+  std::lock_guard lock(mu_);
+  if (id == 0 || id > entries_.size()) return std::nullopt;
+  return entries_[id - 1].name;
+}
+
+std::size_t MuscleTable::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+bool MuscleTable::invoke(WireMuscleId id, const PodValue& arg,
+                         PodValue& result) const {
+  std::shared_ptr<Fn> fn;
+  {
+    std::lock_guard lock(mu_);
+    if (id == 0 || id > entries_.size()) return false;
+    fn = entries_[id - 1].fn;
+  }
+  // Run outside the lock: the muscle may be slow or register more muscles.
+  result = (*fn)(arg);
+  return true;
+}
+
+MuscleTable& default_muscle_table() {
+  static MuscleTable* table = new MuscleTable();  // never destroyed
+  return *table;
+}
+
+}  // namespace askel

@@ -1,0 +1,137 @@
+#pragma once
+// MuscleTable + POD argument codec: the wire-serializable muscle
+// representation that lets work actually cross a host boundary.
+//
+// A skeleton muscle is a closure over shared memory — it cannot be shipped.
+// What CAN be shipped is a *name*: both hosts register the same function
+// under the same name, registration hands back a stable wire id, and a
+// kSubmitNamed frame carries {wire id, encoded argument} instead of a
+// closure. The worker host looks the id up in ITS table and executes its
+// own copy of the function (tcp_transport.hpp's serve loop); only POD-ish
+// argument/result values travel.
+//
+// The codec is deliberately tiny and fixed-layout — one tagged value per
+// call, versioned so the layout can evolve without silently misreading old
+// peers:
+//
+//   [u8 version = 1][u8 tag][u16 reserved = 0][u32 body_len][body bytes]
+//
+//   tag kVoid   body_len 0
+//   tag kI64    body_len 8, little-endian two's complement
+//   tag kU64    body_len 8, little-endian
+//   tag kF64    body_len 8, IEEE-754 bits little-endian
+//   tag kBytes  body_len N, opaque bytes (strings, user pre-serialization)
+//
+// decode_pod rejects unknown versions and tags, truncated or oversized
+// bodies and trailing bytes — a malformed payload is a protocol error
+// (NamedStatus::kBadArgument), never a partially-read value.
+//
+// Wire-id stability: ids are assigned densely in registration order and
+// never reused, so two hosts that register the same muscles in the same
+// order agree on ids implicitly; hosts that cannot guarantee order agree
+// by exchanging names once and using id_of(). (A name-exchange handshake
+// frame is future work; every current deployment constructs both tables
+// from the same registration code.)
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace askel {
+
+enum class PodTag : std::uint8_t {
+  kVoid = 0,
+  kI64 = 1,
+  kU64 = 2,
+  kF64 = 3,
+  kBytes = 4,
+};
+
+const char* to_string(PodTag t);
+
+/// One wire-serializable value: the argument or result of a named call.
+class PodValue {
+ public:
+  PodValue() = default;
+  static PodValue of_void() { return PodValue{}; }
+  static PodValue of_i64(std::int64_t v);
+  static PodValue of_u64(std::uint64_t v);
+  static PodValue of_f64(double v);
+  static PodValue of_bytes(std::string v);
+
+  PodTag tag() const { return tag_; }
+  /// Typed accessors; reading the wrong flavor returns the type's zero —
+  /// callers that care check tag() first (mirrors the engine's std::any
+  /// discipline without exceptions on the wire path).
+  std::int64_t as_i64() const { return tag_ == PodTag::kI64 ? i_ : 0; }
+  std::uint64_t as_u64() const { return tag_ == PodTag::kU64 ? u_ : 0; }
+  double as_f64() const { return tag_ == PodTag::kF64 ? f_ : 0.0; }
+  const std::string& as_bytes() const { return b_; }
+
+  bool operator==(const PodValue&) const = default;
+
+ private:
+  PodTag tag_ = PodTag::kVoid;
+  std::int64_t i_ = 0;
+  std::uint64_t u_ = 0;
+  double f_ = 0.0;
+  std::string b_;
+};
+
+inline constexpr std::uint8_t kPodCodecVersion = 1;
+inline constexpr std::size_t kPodHeaderSize = 1 + 1 + 2 + 4;
+
+/// Serialize header + body. The result is bounded by kMaxNamedPayload for
+/// every scalar tag; only kBytes can exceed it, and the transport refuses
+/// such frames before they reach the wire.
+std::vector<std::uint8_t> encode_pod(const PodValue& v);
+
+/// Parse exactly one value. False on unknown version/tag, a body length
+/// that disagrees with the tag, truncation, or trailing bytes.
+bool decode_pod(const std::uint8_t* wire, std::size_t size, PodValue& out);
+
+/// Stable wire identity of a registered muscle. 0 is never assigned.
+using WireMuscleId = std::uint32_t;
+
+/// Thread-safe name -> id -> function registry. Shared by the pool side
+/// (naming the muscle in kSubmitNamed frames) and the worker-host side
+/// (executing it in the serve loop).
+class MuscleTable {
+ public:
+  using Fn = std::function<PodValue(const PodValue&)>;
+
+  /// Register `fn` under `name`. A fresh name gets the next dense id; an
+  /// existing name keeps its id (the wire id is STABLE) and the function is
+  /// replaced — re-registration is how a host hot-swaps an implementation
+  /// without renumbering the protocol.
+  WireMuscleId register_muscle(std::string name, Fn fn);
+
+  std::optional<WireMuscleId> id_of(std::string_view name) const;
+  std::optional<std::string> name_of(WireMuscleId id) const;
+  std::size_t size() const;
+
+  /// Execute muscle `id` on `arg`. False when the id is unknown. The
+  /// function runs OUTSIDE the table lock (it may be arbitrarily slow and
+  /// may itself register muscles).
+  bool invoke(WireMuscleId id, const PodValue& arg, PodValue& result) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::shared_ptr<Fn> fn;
+  };
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // index = id - 1
+};
+
+/// Process-wide default table (what TcpWorkerHost serves when no explicit
+/// table is injected). Lazily constructed, never destroyed before exit.
+MuscleTable& default_muscle_table();
+
+}  // namespace askel

@@ -204,13 +204,21 @@ void RemoteWorkerBackend::provision_loop(const std::stop_token& st) {
 void RemoteWorkerBackend::heartbeat_sweep() {
   if (cfg_.heartbeat_interval <= 0.0) return;
   for (int w = 0; w < static_cast<int>(sessions_.size()); ++w) {
-    // A batch window whose owner went quiet must not pend forever: the
-    // sweep gives the flush deadline teeth on idle sessions.
-    if (cfg_.lease_batch > 1) flush_stale_batch(w);
+    // Probe BEFORE flushing: a stale window on a partitioned worker would
+    // otherwise flush into the void and wait out a whole complete_timeout
+    // (holding the session mutex, stalling the rest of the sweep) before
+    // the probe could run — partition detection mid-batch would take
+    // complete_timeout + heartbeat_timeout instead of one heartbeat. The
+    // probe tears the dead session down first, so the stale window is
+    // dropped — never leased into a partition.
+    //
     // session_live's try_lock makes this a cheap scan; probe() itself
     // short-circuits sessions with an open lease (they are answering by
     // definition) and tears down the ones that time out.
     if (session_live(w)) probe(w);
+    // A batch window whose owner went quiet must not pend forever: the
+    // sweep gives the flush deadline teeth on idle (live) sessions.
+    if (cfg_.lease_batch > 1) flush_stale_batch(w);
   }
 }
 
@@ -437,7 +445,11 @@ void RemoteWorkerBackend::flush_stale_batch(int worker) {
 bool RemoteWorkerBackend::probe(int worker) {
   if (worker < 0 || worker >= static_cast<int>(sessions_.size())) return false;
   Session& s = *sessions_[static_cast<std::size_t>(worker)];
-  std::lock_guard lock(s.mu);
+  // try_lock, same rationale as session_live: a held mutex means a lease or
+  // flush is mid-flight — the session is answering by definition, and
+  // blocking here would chain the sweep behind a completion timeout.
+  std::unique_lock lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return true;
   if (s.transport == nullptr || !s.transport->alive()) return false;
   // A lease is in flight (the owner is between task_begin and task_end, so
   // the session mutex was free but the inbox belongs to the lease): pulling
@@ -471,6 +483,92 @@ bool RemoteWorkerBackend::probe(int worker) {
       // re-provisions it.
       drop_session_locked(s);
       return false;
+    }
+  }
+}
+
+NamedCallResult RemoteWorkerBackend::call_named(int worker, WireMuscleId id,
+                                                const PodValue& arg) {
+  NamedCallResult r;
+  if (worker < 0 || worker >= static_cast<int>(sessions_.size())) return r;
+  Session& s = *sessions_[static_cast<std::size_t>(worker)];
+  std::lock_guard lock(s.mu);
+  if (s.transport == nullptr || !s.transport->alive()) return r;
+  // The inbox is strictly ordered per session: an open batch window's
+  // Complete must not interleave with our Result, so flush it first.
+  if (s.batch_count > 0) {
+    flush_batch_locked(s, worker);
+    if (s.transport == nullptr || !s.transport->alive()) return r;
+  }
+  const std::vector<std::uint8_t> payload = encode_pod(arg);
+  if (payload.size() > kMaxNamedPayload) {
+    // Never ships: an oversized argument is the caller's bug, reported the
+    // same way the worker host reports one — without touching the link (no
+    // lease opened, so it appears in no counter).
+    r.transported = true;
+    r.status = NamedStatus::kBadArgument;
+    return r;
+  }
+  const std::uint64_t seq = s.next_seq++;
+  if (!s.transport->send(
+          WireFrame{WireFrameType::kSubmitNamed,
+                    static_cast<std::uint32_t>(worker), seq, id,
+                    static_cast<std::uint64_t>(payload.size())},
+          payload.data(), payload.size())) {
+    drop_session_locked(s);
+    return r;
+  }
+  leases_.fetch_add(1, std::memory_order_relaxed);
+  named_calls_.fetch_add(1, std::memory_order_relaxed);
+  s.open_lease = seq;
+  const TimePoint deadline = cfg_.clock->now() + cfg_.complete_timeout;
+  std::vector<std::uint8_t> result_payload;
+  for (;;) {
+    WireFrame f;
+    const Duration wait = std::max(0.0, deadline - cfg_.clock->now());
+    if (s.transport->recv(f, result_payload, wait)) {
+      if (f.type == WireFrameType::kResultNamed && f.seq == seq) {
+        s.open_lease = 0;
+        s.last_accounted = seq;
+        completes_.fetch_add(1, std::memory_order_relaxed);
+        r.transported = true;
+        r.status = f.a <= static_cast<std::uint64_t>(NamedStatus::kUnsupported)
+                       ? static_cast<NamedStatus>(f.a)
+                       : NamedStatus::kUnsupported;
+        if (r.status == NamedStatus::kOk &&
+            !decode_pod(result_payload.data(), result_payload.size(),
+                        r.value)) {
+          r.status = NamedStatus::kBadArgument;  // malformed result payload
+        }
+        if (r.status != NamedStatus::kOk) {
+          named_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return r;
+      }
+      if (f.type == WireFrameType::kComplete ||
+          f.type == WireFrameType::kResultNamed) {
+        // Stale delivery of an earlier-recovered lease: count and ignore.
+        ignored_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (f.type == WireFrameType::kHeartbeatAck) {
+        hb_acked_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      continue;
+    }
+    if (!s.transport->alive()) {
+      s.open_lease = 0;
+      s.last_accounted = std::max(s.last_accounted, seq);
+      losses_.fetch_add(1, std::memory_order_relaxed);
+      drop_session_locked(s);
+      return r;  // transported stays false: the call never resolved
+    }
+    if (cfg_.manual_pump || cfg_.clock->now() >= deadline) {
+      s.open_lease = 0;
+      s.last_accounted = std::max(s.last_accounted, seq);
+      losses_.fetch_add(1, std::memory_order_relaxed);
+      return r;  // link stays up: a late result is ignored on arrival
     }
   }
 }
@@ -515,6 +613,8 @@ RemoteBackendStats RemoteWorkerBackend::stats() const {
   s.ignored_completes = ignored_.load(std::memory_order_relaxed);
   s.tasks_batched = tasks_batched_.load(std::memory_order_relaxed);
   s.batch_flushes = batch_flushes_.load(std::memory_order_relaxed);
+  s.named_calls = named_calls_.load(std::memory_order_relaxed);
+  s.named_errors = named_errors_.load(std::memory_order_relaxed);
   s.heartbeats_acked = hb_acked_.load(std::memory_order_relaxed);
   s.provision_failures = provision_failures_.load(std::memory_order_relaxed);
   s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);

@@ -64,6 +64,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/muscle_table.hpp"
 #include "runtime/transport.hpp"
 #include "runtime/worker_backend.hpp"
 #include "util/clock.hpp"
@@ -119,6 +120,20 @@ struct RemoteBackendStats {
   /// is the achieved amortization factor.
   std::uint64_t tasks_batched = 0;
   std::uint64_t batch_flushes = 0;
+  /// Named-muscle calls shipped (each is also a lease, so the invariant
+  /// above covers them), and the subset that resolved with a non-kOk status.
+  std::uint64_t named_calls = 0;
+  std::uint64_t named_errors = 0;
+};
+
+/// Outcome of RemoteWorkerBackend::call_named. `transported` is false when
+/// the call never resolved remotely — no live session, the link died, or
+/// the result deadline passed (the lease is recovered either way); `status`
+/// is only meaningful when it is true.
+struct NamedCallResult {
+  bool transported = false;
+  NamedStatus status = NamedStatus::kUnsupported;
+  PodValue value;  // decoded result, kOk only
 };
 
 class RemoteWorkerBackend : public WorkerBackend {
@@ -144,8 +159,27 @@ class RemoteWorkerBackend : public WorkerBackend {
 
   /// Liveness probe: heartbeat round trip within heartbeat_timeout. false
   /// marks the session lost (torn down; re-provisioned on the next grow) —
-  /// this is how a partition becomes a detected failure.
+  /// this is how a partition becomes a detected failure. Never blocks on a
+  /// busy session: one mid-lease (mutex held) is answering by definition
+  /// and reports true without wire traffic.
   bool probe(int worker);
+
+  /// One idle-cadence pass over every session: probe liveness FIRST, then
+  /// flush stale batch windows. The order is load-bearing — flushing into a
+  /// partitioned worker burns a complete_timeout on a lease that is already
+  /// doomed, holding the session mutex and delaying detection past the
+  /// heartbeat cadence; probing first tears the dead session down so the
+  /// stale window is dropped instead of leased. Public so manual-pump tests
+  /// can drive exactly one sweep against a virtual clock (the provisioning
+  /// thread calls it on its own cadence in real-time mode).
+  void heartbeat_sweep();
+
+  /// Execute registered muscle `id` remotely on `worker`'s session with the
+  /// encoded `arg` (kSubmitNamed -> kResultNamed round trip). The call is a
+  /// lease: it resolves as a complete or a recovered loss under the same
+  /// invariant as task brackets. Any open batch window flushes first so the
+  /// session's inbox stays strictly ordered.
+  NamedCallResult call_named(int worker, WireMuscleId id, const PodValue& arg);
 
   /// Sessions with a live transport right now.
   int live_sessions() const;
@@ -182,8 +216,6 @@ class RemoteWorkerBackend : public WorkerBackend {
   /// reported (call it with no lock held).
   bool pump_step(Outcome& out);
   void provision_loop(const std::stop_token& st);
-  /// Probe every live, lease-free session once (provision thread, idle).
-  void heartbeat_sweep();
   bool session_live(int worker) const;
   /// session.mu held: tear the transport down and count the loss.
   void drop_session_locked(Session& s);
@@ -226,6 +258,8 @@ class RemoteWorkerBackend : public WorkerBackend {
   std::atomic<std::uint64_t> sessions_retired_{0};
   std::atomic<std::uint64_t> tasks_batched_{0};
   std::atomic<std::uint64_t> batch_flushes_{0};
+  std::atomic<std::uint64_t> named_calls_{0};
+  std::atomic<std::uint64_t> named_errors_{0};
 };
 
 }  // namespace askel

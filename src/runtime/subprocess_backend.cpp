@@ -1,68 +1,35 @@
 #include "runtime/subprocess_backend.hpp"
 
-#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include <atomic>
-#include <cerrno>
 #include <chrono>
-#include <cmath>
 #include <cstdint>
 #include <mutex>
 #include <thread>
 
+#include "runtime/frame_io.hpp"
+
 namespace askel {
 namespace {
-
-// ---- raw fd helpers, shared with the fork child (async-signal-safe) -------
-
-bool write_full(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t at = 0;
-  while (at < size) {
-    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
-    const ssize_t n = ::send(fd, data + at, size - at, MSG_NOSIGNAL);
-    if (n > 0) {
-      at += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
-
-bool read_full(int fd, std::uint8_t* data, std::size_t size) {
-  std::size_t at = 0;
-  while (at < size) {
-    const ssize_t n = ::read(fd, data + at, size - at);
-    if (n > 0) {
-      at += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return false;  // EOF or hard error
-  }
-  return true;
-}
 
 // ---- the worker child ------------------------------------------------------
 
 /// Fork-without-exec body. The parent is multi-threaded, so everything here
 /// must be async-signal-safe: raw read/write on fixed stack buffers, _exit.
-/// encode/decode are heap-free by design (transport.hpp).
+/// encode/decode and frame_io::{read,write}_full are heap-free by design.
 [[noreturn]] void worker_child_loop(int fd, int worker, int crash_after) {
   const WireFrameBytes hello =
       encode_frame(WireFrame{WireFrameType::kHello, static_cast<std::uint32_t>(worker),
                          0, static_cast<std::uint64_t>(::getpid()), 0});
-  if (!write_full(fd, hello.data(), hello.size())) _exit(1);
+  if (!frame_io::write_full(fd, hello.data(), hello.size())) _exit(1);
   std::uint8_t buf[kWireFrameSize];
   int tasks = 0;
   for (;;) {
-    if (!read_full(fd, buf, kWireFrameSize)) _exit(0);  // pool went away
+    if (!frame_io::read_full(fd, buf, kWireFrameSize)) _exit(0);  // pool went away
     WireFrame f;
     if (!decode_frame(buf, kWireFrameSize, f)) _exit(2);
     switch (f.type) {
@@ -72,21 +39,42 @@ bool read_full(int fd, std::uint8_t* data, std::size_t size) {
         const WireFrameBytes c = encode_frame(
             WireFrame{WireFrameType::kComplete, static_cast<std::uint32_t>(worker),
                   f.seq, 0, 0});
-        if (!write_full(fd, c.data(), c.size())) _exit(0);
+        if (!frame_io::write_full(fd, c.data(), c.size())) _exit(0);
         break;
       }
       case WireFrameType::kHeartbeat: {
         const WireFrameBytes a = encode_frame(
             WireFrame{WireFrameType::kHeartbeatAck, static_cast<std::uint32_t>(worker),
                   f.seq, 0, 0});
-        if (!write_full(fd, a.data(), a.size())) _exit(0);
+        if (!frame_io::write_full(fd, a.data(), a.size())) _exit(0);
+        break;
+      }
+      case WireFrameType::kSubmitNamed: {
+        // The fork child cannot safely run a muscle table (std::function in
+        // a post-fork address space that may hold foreign locks). Consume
+        // the argument payload chunk-wise on the stack to keep the stream
+        // in sync, then answer kUnsupported — heap-free, never a torn link.
+        if (f.b > kMaxNamedPayload) _exit(2);  // poisoned stream
+        std::uint8_t sink[256];
+        std::uint64_t left = f.b;
+        while (left > 0) {
+          const std::size_t chunk =
+              left < sizeof(sink) ? static_cast<std::size_t>(left) : sizeof(sink);
+          if (!frame_io::read_full(fd, sink, chunk)) _exit(0);
+          left -= chunk;
+        }
+        const WireFrameBytes r = encode_frame(WireFrame{
+            WireFrameType::kResultNamed, static_cast<std::uint32_t>(worker),
+            f.seq,
+            static_cast<std::uint64_t>(NamedStatus::kUnsupported), 0});
+        if (!frame_io::write_full(fd, r.data(), r.size())) _exit(0);
         break;
       }
       case WireFrameType::kRetire: {
         const WireFrameBytes r = encode_frame(
             WireFrame{WireFrameType::kRetired, static_cast<std::uint32_t>(worker),
                   f.seq, 0, 0});
-        write_full(fd, r.data(), r.size());  // best effort
+        frame_io::write_full(fd, r.data(), r.size());  // best effort
         _exit(0);
       }
       case WireFrameType::kStealHint:
@@ -98,91 +86,29 @@ bool read_full(int fd, std::uint8_t* data, std::size_t size) {
 
 // ---- the parent-side transport ---------------------------------------------
 
-class PipeTransport final : public Transport {
+/// The shared FdTransport (frame_io.hpp) plus subprocess teardown: when the
+/// fd closes, un-register it from the factory's inherit list and reap the
+/// child. The frame I/O itself — MSG_NOSIGNAL sends, the anchored-deadline
+/// recv — is the one audited copy in frame_io.cpp, identical to TCP's.
+class PipeTransport final : public FdTransport {
  public:
   PipeTransport(int fd, pid_t pid, SubprocessTransportFactory* factory)
-      : fd_(fd), pid_(pid), factory_(factory) {}
+      : FdTransport(fd), pid_(pid), factory_(factory) {}
+  // Close from the most-derived dtor so on_close_locked still sees a whole
+  // PipeTransport (the base dtor's backstop close would not).
   ~PipeTransport() override { close(); }
 
-  bool send(const WireFrame& f) override {
-    std::lock_guard lock(mu_);
-    if (fd_ < 0) return false;
-    const WireFrameBytes bytes = encode_frame(f);
-    if (!write_full(fd_, bytes.data(), bytes.size())) {
-      alive_.store(false, std::memory_order_release);
-      return false;
-    }
-    return true;
-  }
-
-  bool recv(WireFrame& out, Duration timeout) override {
-    if (fd_ < 0) return false;
-    // Deadline-honoring frame read: poll before EVERY read, never a
-    // blocking read_full — a child stalled mid-frame (descheduled after a
-    // partial write) must not wedge the caller past `timeout`; the lease
-    // recovery in task_end depends on recv actually returning.
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration<double>(std::max(0.0, timeout));
-    std::uint8_t buf[kWireFrameSize];
-    std::size_t at = 0;
-    while (at < kWireFrameSize) {
-      const double remaining_s =
-          std::chrono::duration<double>(deadline -
-                                        std::chrono::steady_clock::now())
-              .count();
-      if (remaining_s <= 0.0) {
-        // Plain timeout with nothing read is just "no frame"; a timeout
-        // MID-frame means the byte stream is desynced for good — poison
-        // the link so the session is recovered instead of re-waiting.
-        if (at != 0) alive_.store(false, std::memory_order_release);
-        return false;
-      }
-      struct pollfd pfd;
-      pfd.fd = fd_;
-      pfd.events = POLLIN;
-      pfd.revents = 0;
-      int r;
-      do {
-        r = ::poll(&pfd, 1,
-                   static_cast<int>(std::ceil(remaining_s * 1000.0)));
-      } while (r < 0 && errno == EINTR);
-      if (r <= 0) continue;  // loop re-checks the deadline
-      const ssize_t n = ::read(fd_, buf + at, kWireFrameSize - at);
-      if (n > 0) {
-        at += static_cast<std::size_t>(n);
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      alive_.store(false, std::memory_order_release);  // EOF: the child died
-      return false;
-    }
-    if (!decode_frame(buf, kWireFrameSize, out)) {
-      alive_.store(false, std::memory_order_release);  // garbage on the wire
-      return false;
-    }
-    return true;
-  }
-
-  bool alive() const override { return alive_.load(std::memory_order_acquire); }
-
-  void close() override {
+ protected:
+  void on_close_locked(int fd) override {
     // Pure teardown: the Retire frame (when one is due) is the session
-    // layer's business (RemoteWorkerBackend::release); here the fd close
+    // layer's business (RemoteWorkerBackend::release); the fd close
     // delivers EOF, which the child also treats as "retire now".
-    std::lock_guard lock(mu_);
-    if (fd_ >= 0) {
-      ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      if (factory_ != nullptr) factory_->forget_parent_fd(fd_);
-      fd_ = -1;
-    }
-    alive_.store(false, std::memory_order_release);
-    reap_locked();
+    if (factory_ != nullptr) factory_->forget_parent_fd(fd);
+    reap();
   }
 
  private:
-  void reap_locked() {
+  void reap() {
     if (pid_ <= 0) return;
     // close() can run under the pool's control mutex (shrink path), so the
     // grace period must stay tiny: a healthy child exits on Retire/EOF in
@@ -206,11 +132,8 @@ class PipeTransport final : public Transport {
     }
   }
 
-  int fd_ = -1;
   pid_t pid_ = -1;
-  std::atomic<bool> alive_{true};
   SubprocessTransportFactory* factory_ = nullptr;  // outlives every session
-  std::mutex mu_;  // send/close vs each other (recv stays lease-owner-only)
 };
 
 }  // namespace

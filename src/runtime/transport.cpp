@@ -40,8 +40,14 @@ const char* to_string(WireFrameType t) {
     case WireFrameType::kStealHint: return "steal-hint";
     case WireFrameType::kRetire: return "retire";
     case WireFrameType::kRetired: return "retired";
+    case WireFrameType::kSubmitNamed: return "submit-named";
+    case WireFrameType::kResultNamed: return "result-named";
   }
   return "unknown";
+}
+
+bool frame_has_payload(WireFrameType t) {
+  return t == WireFrameType::kSubmitNamed || t == WireFrameType::kResultNamed;
 }
 
 WireFrameBytes encode_frame(const WireFrame& f) {
@@ -60,7 +66,7 @@ bool decode_frame(const std::uint8_t* wire, std::size_t size, WireFrame& out) {
   if (get_u32(wire) != kWireFramePayloadSize) return false;
   const std::uint8_t type = wire[4];
   if (type < static_cast<std::uint8_t>(WireFrameType::kHello) ||
-      type > static_cast<std::uint8_t>(WireFrameType::kRetired)) {
+      type > static_cast<std::uint8_t>(WireFrameType::kResultNamed)) {
     return false;
   }
   out.type = static_cast<WireFrameType>(type);

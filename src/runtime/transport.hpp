@@ -21,10 +21,24 @@
 //   kStealHint    pool -> worker   advisory: backlog exists (a = depth)
 //   kRetire       pool -> worker   clean shutdown request
 //   kRetired      worker -> pool   shutdown acknowledged
+//   kSubmitNamed  pool -> worker   execute REGISTERED muscle `a` remotely;
+//                                  b = byte length of the encoded argument
+//                                  payload that follows the frame
+//   kResultNamed  worker -> pool   named call `seq` resolved (a = status,
+//                                  see NamedStatus; b = result payload len)
+//
+// The named frames are the one variable-length part of the dialect: the
+// fixed 33-byte frame is a header and exactly `b` payload bytes follow it
+// (bounded by kMaxNamedPayload — a larger advertised length poisons the
+// link rather than driving an allocation). Everything else stays the
+// fixed-size protocol PR 5 shipped, byte-identical.
 //
 // A Transport is one worker's duplex channel. Implementations:
 //   * PipeTransport (subprocess_backend.cpp): a socketpair to a fork()ed
 //     worker process — real fds, real EOF-on-crash, real join latency;
+//   * TcpTransport (tcp_transport.cpp): a real socket to a TcpWorkerHost on
+//     another host — the first transport whose remote side executes
+//     registered muscles instead of echoing brackets;
 //   * FakeWorkerTransport (fake_transport.cpp): a seeded, virtual-clock
 //     double that injects every failure mode deterministically.
 //
@@ -36,6 +50,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/clock.hpp"
 
@@ -51,9 +66,26 @@ enum class WireFrameType : std::uint8_t {
   kStealHint = 6,
   kRetire = 7,
   kRetired = 8,
+  kSubmitNamed = 9,
+  kResultNamed = 10,
 };
 
 const char* to_string(WireFrameType t);
+
+/// True for the frame types followed by `b` payload bytes on the wire.
+bool frame_has_payload(WireFrameType t);
+
+/// Outcome of a named-muscle execution, carried in kResultNamed's `a`.
+enum class NamedStatus : std::uint8_t {
+  kOk = 0,             // result payload is the encoded return value
+  kUnknownMuscle = 1,  // the wire id is not registered on the worker host
+  kBadArgument = 2,    // the argument payload did not decode
+  kUnsupported = 3,    // the remote side has no muscle table (subprocess echo)
+};
+
+/// Hard ceiling on a named frame's payload: a frame advertising more is
+/// treated as a poisoned link, never as an allocation request.
+inline constexpr std::uint64_t kMaxNamedPayload = 64 * 1024;
 
 struct WireFrame {
   WireFrameType type = WireFrameType::kHello;
@@ -83,10 +115,27 @@ class Transport {
   virtual ~Transport() = default;
   /// Ship a frame. False = link down (the caller recovers the session).
   virtual bool send(const WireFrame& f) = 0;
+  /// Ship a frame plus its variable payload (named dialect; `f.b` must
+  /// already equal `size`). Default: payload-less frames forward to send();
+  /// a transport that predates the dialect refuses real payloads.
+  virtual bool send(const WireFrame& f, const std::uint8_t* /*payload*/,
+                    std::size_t size) {
+    return size == 0 ? send(f) : false;
+  }
   /// Next inbound frame, waiting up to `timeout` seconds (0 = only what is
   /// already deliverable; virtual-time transports never wait). False =
   /// nothing arrived — check alive() to tell timeout from a dead link.
+  /// A payload frame read through this overload stays in sync (the payload
+  /// bytes are consumed) but the payload itself is discarded.
   virtual bool recv(WireFrame& out, Duration timeout) = 0;
+  /// Payload-aware recv: `payload` is cleared, then filled for named
+  /// frames. Default forwards to the frame-only recv (transports without
+  /// the dialect never produce payload frames).
+  virtual bool recv(WireFrame& out, std::vector<std::uint8_t>& payload,
+                    Duration timeout) {
+    payload.clear();
+    return recv(out, timeout);
+  }
   virtual bool alive() const = 0;
   /// Best-effort retire + teardown. Idempotent.
   virtual void close() = 0;

@@ -24,6 +24,7 @@
 #include "runtime/fake_transport.hpp"
 #include "runtime/remote_backend.hpp"
 #include "runtime/subprocess_backend.hpp"
+#include "runtime/tcp_transport.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/worker_backend.hpp"
 
@@ -32,21 +33,23 @@ namespace {
 
 using namespace std::chrono_literals;
 
-enum class BackendKind { kThread, kSubprocess, kFakeRemote };
+enum class BackendKind { kThread, kSubprocess, kFakeRemote, kTcp };
 
 std::string kind_name(const ::testing::TestParamInfo<BackendKind>& info) {
   switch (info.param) {
     case BackendKind::kThread: return "Thread";
     case BackendKind::kSubprocess: return "Subprocess";
     case BackendKind::kFakeRemote: return "FakeRemote";
+    case BackendKind::kTcp: return "Tcp";
   }
   return "Unknown";
 }
 
 /// Pool + backend rig. Declaration order matters: the pool is destroyed
 /// first (it cancels pending provisions against the backend), then the
-/// backend, then the transport factory.
+/// backend, then the transport factory / worker host.
 struct Rig {
+  std::unique_ptr<TcpWorkerHost> host;  // kTcp: outlives the backend
   std::unique_ptr<FakeTransportFactory> factory;
   std::unique_ptr<WorkerBackend> backend;
   std::unique_ptr<ResizableThreadPool> pool;
@@ -77,6 +80,17 @@ struct Rig {
         backend = std::move(rem);
         break;
       }
+      case BackendKind::kTcp: {
+        host = std::make_unique<TcpWorkerHost>();
+        EXPECT_TRUE(host->listening());
+        TcpBackendConfig cfg;
+        cfg.port = host->port();
+        cfg.max_workers = max_lp;
+        auto tcp = std::make_unique<TcpBackend>(cfg);
+        remote = tcp.get();
+        backend = std::move(tcp);
+        break;
+      }
     }
     if (backend != nullptr) pool->set_backend(backend.get());
   }
@@ -85,6 +99,7 @@ struct Rig {
     pool.reset();
     backend.reset();
     factory.reset();
+    host.reset();
   }
 
   /// Remote joins are asynchronous: poll until the effective LP converges.
@@ -182,8 +197,61 @@ TEST_P(BackendConformance, RemoteSessionsAnswerLivenessProbes) {
 INSTANTIATE_TEST_SUITE_P(Backends, BackendConformance,
                          ::testing::Values(BackendKind::kThread,
                                            BackendKind::kSubprocess,
-                                           BackendKind::kFakeRemote),
+                                           BackendKind::kFakeRemote,
+                                           BackendKind::kTcp),
                          kind_name);
+
+// ------------------------------------------------------ tcp-specific -------
+
+TEST(TcpBackendCrash, PeerDeathBetweenSubmitAndCompleteOfABatchedLease) {
+  // The worker host's serve loop reads the Nth Submit and closes the
+  // connection WITHOUT writing its Complete: the pool holds an open batched
+  // lease (one lease, K brackets) against a peer that just died inside the
+  // window. The lease — exactly one — must be recovered off the EOF, every
+  // task still completes (closures run in-process), and the grant is not
+  // stranded: the pool re-provisions the session and converges back.
+  TcpWorkerHostConfig host_cfg;
+  host_cfg.crash_after_tasks = 3;
+  TcpWorkerHost host(default_muscle_table(), host_cfg);
+  ASSERT_TRUE(host.listening());
+  TcpBackendConfig cfg;
+  cfg.port = host.port();
+  cfg.max_workers = 4;
+  cfg.lease_batch = 2;  // batched: the dying Submit covers a whole window
+  cfg.complete_timeout = 1.0;
+  TcpBackend backend(cfg);
+  std::atomic<int> done{0};
+  {
+    ResizableThreadPool pool(2, 4);
+    pool.set_backend(&backend);
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (backend.live_sessions() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    ASSERT_EQ(backend.live_sessions(), 2);
+    for (int k = 0; k < 40; ++k) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    // No stranded grant: after the crashes, growing converges again on
+    // freshly accepted host sessions (the coordinator's claw-back + re-grow
+    // path, driven here directly through the pool).
+    EXPECT_EQ(pool.set_target_lp(4), 4);
+    const auto regrow = std::chrono::steady_clock::now() + 10s;
+    while (pool.effective_lp() != 4 &&
+           std::chrono::steady_clock::now() < regrow) {
+      std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_EQ(pool.effective_lp(), 4);
+    pool.set_backend(nullptr);
+  }
+  EXPECT_EQ(done.load(), 40);  // the tasks never depended on the peer
+  const RemoteBackendStats s = backend.stats();
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+  EXPECT_GE(s.losses_recovered, 1u);  // the EOF mid-window was detected
+  EXPECT_GE(host.sessions_accepted(), 3u);  // crashed sessions re-joined
+}
 
 // ----------------------------------------------- subprocess-specific -------
 
@@ -215,6 +283,37 @@ TEST(SubprocessBackend, RealWorkerCrashIsDetectedAndNoTaskIsLost) {
   const RemoteBackendStats s = backend.stats();
   EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
   EXPECT_GE(s.losses_recovered, 1u);  // the EOFs were really detected
+}
+
+TEST(SubprocessBackend, BatchedLeaseCrashBetweenSubmitAndCompleteRecovers) {
+  // The child reads the Nth Submit and _exits BEFORE writing its Complete —
+  // with lease batching the open lease covers a whole window of brackets.
+  // Exactly the in-flight leases are recovered; every task completes.
+  SubprocessBackendConfig cfg;
+  cfg.max_workers = 4;
+  cfg.crash_after_tasks = 3;
+  cfg.lease_batch = 2;
+  SubprocessBackend backend(cfg);
+  std::atomic<int> done{0};
+  {
+    ResizableThreadPool pool(2, 4);
+    pool.set_backend(&backend);
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (backend.live_sessions() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    ASSERT_EQ(backend.live_sessions(), 2);
+    for (int k = 0; k < 40; ++k) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(done.load(), 40);
+  const RemoteBackendStats s = backend.stats();
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+  EXPECT_GE(s.losses_recovered, 1u);   // the mid-window EOFs were detected
+  EXPECT_GE(s.tasks_batched, 1u);      // the batched dialect was really used
 }
 
 TEST(SubprocessBackend, ProvisionBeyondCapacityFailsWithoutWedging) {

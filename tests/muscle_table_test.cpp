@@ -1,0 +1,176 @@
+// MuscleTable + POD codec unit suite: the wire representation of named
+// muscles. The codec is a protocol (versioned, fixed layout, little-endian)
+// — golden bytes are pinned the same way the frame protocol's are, and
+// every malformed-input class must be REJECTED, never partially decoded.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/muscle_table.hpp"
+#include "runtime/transport.hpp"
+
+namespace askel {
+namespace {
+
+// ------------------------------------------------------------------ codec --
+
+TEST(PodCodec, RoundTripsEveryTag) {
+  const PodValue values[] = {
+      PodValue::of_void(),
+      PodValue::of_i64(-0x0123456789ABCDEFll),
+      PodValue::of_u64(0xFFFFFFFFFFFFFFFFull),
+      PodValue::of_f64(-2.5e300),
+      PodValue::of_bytes(std::string("hello\0wire", 10)),
+      PodValue::of_bytes(""),
+  };
+  for (const PodValue& v : values) {
+    const std::vector<std::uint8_t> wire = encode_pod(v);
+    PodValue back;
+    ASSERT_TRUE(decode_pod(wire.data(), wire.size(), back))
+        << "tag " << to_string(v.tag());
+    EXPECT_EQ(back, v) << "tag " << to_string(v.tag());
+  }
+}
+
+TEST(PodCodec, GoldenBytesAreVersionedAndLittleEndian) {
+  // The codec is a protocol: these bytes must never change under version 1.
+  const std::vector<std::uint8_t> wire = encode_pod(PodValue::of_i64(2));
+  const std::uint8_t expected[] = {
+      1,           // version
+      1,           // tag kI64
+      0, 0,        // reserved
+      8, 0, 0, 0,  // body_len
+      2, 0, 0, 0, 0, 0, 0, 0,  // little-endian body
+  };
+  ASSERT_EQ(wire.size(), sizeof(expected));
+  EXPECT_TRUE(std::equal(wire.begin(), wire.end(), expected));
+}
+
+TEST(PodCodec, NegativeIntegersUseTwosComplement) {
+  const std::vector<std::uint8_t> wire = encode_pod(PodValue::of_i64(-1));
+  ASSERT_EQ(wire.size(), kPodHeaderSize + 8);
+  for (std::size_t k = kPodHeaderSize; k < wire.size(); ++k) {
+    EXPECT_EQ(wire[k], 0xFF);
+  }
+}
+
+TEST(PodCodec, RejectsEveryMalformedClass) {
+  PodValue out;
+  // Null / truncated header.
+  EXPECT_FALSE(decode_pod(nullptr, 0, out));
+  std::vector<std::uint8_t> wire = encode_pod(PodValue::of_u64(7));
+  EXPECT_FALSE(decode_pod(wire.data(), kPodHeaderSize - 1, out));
+  // Unknown version.
+  wire[0] = 2;
+  EXPECT_FALSE(decode_pod(wire.data(), wire.size(), out));
+  // Unknown tag.
+  wire = encode_pod(PodValue::of_u64(7));
+  wire[1] = 9;
+  EXPECT_FALSE(decode_pod(wire.data(), wire.size(), out));
+  // Non-zero reserved bytes.
+  wire = encode_pod(PodValue::of_u64(7));
+  wire[2] = 1;
+  EXPECT_FALSE(decode_pod(wire.data(), wire.size(), out));
+  // Truncated body.
+  wire = encode_pod(PodValue::of_u64(7));
+  EXPECT_FALSE(decode_pod(wire.data(), wire.size() - 1, out));
+  // Trailing bytes.
+  wire = encode_pod(PodValue::of_u64(7));
+  wire.push_back(0);
+  EXPECT_FALSE(decode_pod(wire.data(), wire.size(), out));
+  // Body length that disagrees with a scalar tag.
+  wire = encode_pod(PodValue::of_bytes("1234"));  // body_len 4...
+  wire[1] = 2;                                    // ...relabelled kU64
+  EXPECT_FALSE(decode_pod(wire.data(), wire.size(), out));
+  // A scalar-sized body relabelled void.
+  wire = encode_pod(PodValue::of_u64(7));
+  wire[1] = 0;
+  EXPECT_FALSE(decode_pod(wire.data(), wire.size(), out));
+}
+
+TEST(PodCodec, WrongFlavorAccessorsReturnZeroNotGarbage) {
+  const PodValue v = PodValue::of_i64(-5);
+  EXPECT_EQ(v.as_u64(), 0u);
+  EXPECT_EQ(v.as_f64(), 0.0);
+  EXPECT_TRUE(v.as_bytes().empty());
+  EXPECT_EQ(v.as_i64(), -5);
+}
+
+// --------------------------------------------------------------- registry --
+
+TEST(MuscleTable, IdsAreDenseStableAndNeverZero) {
+  MuscleTable t;
+  const WireMuscleId a = t.register_muscle("alpha", [](const PodValue& v) {
+    return v;
+  });
+  const WireMuscleId b = t.register_muscle("beta", [](const PodValue&) {
+    return PodValue::of_void();
+  });
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.id_of("alpha"), a);
+  EXPECT_EQ(t.id_of("beta"), b);
+  EXPECT_EQ(t.name_of(a), "alpha");
+  EXPECT_FALSE(t.id_of("gamma").has_value());
+  EXPECT_FALSE(t.name_of(0).has_value());
+  EXPECT_FALSE(t.name_of(3).has_value());
+}
+
+TEST(MuscleTable, ReRegistrationKeepsTheWireIdSwapsTheFunction) {
+  MuscleTable t;
+  const WireMuscleId id = t.register_muscle(
+      "f", [](const PodValue&) { return PodValue::of_i64(1); });
+  PodValue out;
+  ASSERT_TRUE(t.invoke(id, PodValue::of_void(), out));
+  EXPECT_EQ(out.as_i64(), 1);
+  const WireMuscleId again = t.register_muscle(
+      "f", [](const PodValue&) { return PodValue::of_i64(2); });
+  EXPECT_EQ(again, id);  // the wire id is STABLE across hot swaps
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_TRUE(t.invoke(id, PodValue::of_void(), out));
+  EXPECT_EQ(out.as_i64(), 2);
+}
+
+TEST(MuscleTable, InvokeUnknownIdFailsWithoutExecuting) {
+  MuscleTable t;
+  t.register_muscle("only", [](const PodValue& v) { return v; });
+  PodValue out = PodValue::of_i64(99);
+  EXPECT_FALSE(t.invoke(0, PodValue::of_void(), out));
+  EXPECT_FALSE(t.invoke(2, PodValue::of_void(), out));
+  EXPECT_EQ(out.as_i64(), 99);  // untouched
+}
+
+TEST(MuscleTable, MuscleMayRegisterMusclesWhileInvoked) {
+  // invoke() runs the function OUTSIDE the table lock — a muscle that
+  // registers another muscle must not deadlock.
+  MuscleTable t;
+  const WireMuscleId id = t.register_muscle("self-extend", [&t](const PodValue&) {
+    return PodValue::of_u64(t.register_muscle(
+        "spawned", [](const PodValue& v) { return v; }));
+  });
+  PodValue out;
+  ASSERT_TRUE(t.invoke(id, PodValue::of_void(), out));
+  EXPECT_EQ(out.as_u64(), 2u);
+  EXPECT_EQ(t.id_of("spawned"), 2u);
+}
+
+TEST(MuscleTable, DefaultTableIsProcessWideAndStable) {
+  MuscleTable& a = default_muscle_table();
+  MuscleTable& b = default_muscle_table();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(PodCodec, ScalarEncodingsFitTheNamedPayloadCeiling) {
+  // Every scalar tag must ship in one named frame; only kBytes can grow
+  // past the ceiling (and the session layer refuses those before the wire).
+  EXPECT_LE(encode_pod(PodValue::of_f64(1.0)).size(), kMaxNamedPayload);
+  const std::string big(static_cast<std::size_t>(kMaxNamedPayload), 'x');
+  EXPECT_GT(encode_pod(PodValue::of_bytes(big)).size(), kMaxNamedPayload);
+}
+
+}  // namespace
+}  // namespace askel

@@ -361,6 +361,114 @@ TEST(FakeTransportBatch, ReleaseWithPendingWindowDefersAndFlushesOnRetire) {
   EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
 }
 
+// ------------------------------------------------------- named muscles ----
+
+TEST(FakeTransportNamed, CallNamedRoundTripsTheCodec) {
+  // The fake worker echoes the argument payload back as the result, so a
+  // successful call proves the whole chain: encode -> kSubmitNamed frame ->
+  // payload on the (fake) wire -> kResultNamed -> decode.
+  Remote r(FakeFaultPlan{});
+  r.join(1);
+  const NamedCallResult res =
+      r.backend.call_named(0, 7, PodValue::of_i64(-123456789));
+  ASSERT_TRUE(res.transported);
+  EXPECT_EQ(res.status, NamedStatus::kOk);
+  EXPECT_EQ(res.value, PodValue::of_i64(-123456789));
+  const RemoteBackendStats s = r.backend.stats();
+  EXPECT_EQ(s.named_calls, 1u);
+  EXPECT_EQ(s.named_errors, 0u);
+  // A named call is a lease like any other: the invariant covers it.
+  EXPECT_EQ(s.leases, 1u);
+  EXPECT_EQ(s.completes, 1u);
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+}
+
+TEST(FakeTransportNamed, CrashDuringNamedCallRecoversExactlyOneLease) {
+  FakeFaultPlan plan;
+  plan.crash_worker = 0;
+  plan.crash_on_nth_task = 1;  // the named submit itself kills the link
+  Remote r(plan);
+  r.join(1);
+  const NamedCallResult res =
+      r.backend.call_named(0, 1, PodValue::of_u64(42));
+  EXPECT_FALSE(res.transported);  // the call never resolved
+  const RemoteBackendStats s = r.backend.stats();
+  EXPECT_EQ(s.leases, 1u);
+  EXPECT_EQ(s.completes, 0u);
+  EXPECT_EQ(s.losses_recovered, 1u);
+  EXPECT_EQ(r.backend.live_sessions(), 0);  // torn down, reprovisionable
+}
+
+TEST(FakeTransportNamed, PartitionedNamedCallTimesOutAndKeepsTheLink) {
+  FakeFaultPlan plan;
+  plan.partitions = {{1.0, 2.0}};
+  Remote r(plan);
+  r.join(1);
+  r.clock.set(1.5);  // inside the blackout: the submit is swallowed
+  const NamedCallResult res =
+      r.backend.call_named(0, 1, PodValue::of_f64(3.5));
+  EXPECT_FALSE(res.transported);
+  const RemoteBackendStats s = r.backend.stats();
+  EXPECT_EQ(s.leases, 1u);
+  EXPECT_EQ(s.losses_recovered, 1u);
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+  // A swallowed frame is not a dead link: the session survives (the
+  // partition is detected by the probe path, not here).
+  EXPECT_EQ(r.backend.live_sessions(), 1);
+}
+
+TEST(FakeTransportNamed, CallNamedFlushesAnOpenBatchWindowFirst) {
+  Remote r(FakeFaultPlan{}, /*max_workers=*/8, /*connect_timeout=*/100.0,
+           /*lease_batch=*/16);
+  r.join(1);
+  const std::uint64_t lease = r.backend.task_begin(0, 0);
+  r.backend.task_end(0, lease);  // 1 bracket pending in the window
+  const NamedCallResult res =
+      r.backend.call_named(0, 3, PodValue::of_bytes("abc"));
+  ASSERT_TRUE(res.transported);
+  EXPECT_EQ(res.status, NamedStatus::kOk);
+  EXPECT_EQ(res.value.as_bytes(), "abc");
+  const RemoteBackendStats s = r.backend.stats();
+  // The window shipped as its own lease BEFORE the named call's: strict
+  // per-session ordering, both accounted.
+  EXPECT_EQ(s.batch_flushes, 1u);
+  EXPECT_EQ(s.tasks_batched, 1u);
+  EXPECT_EQ(s.leases, 2u);
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+}
+
+// --------------------------------------- partition detection mid-batch ----
+
+TEST(FakeTransportBatch, SweepDetectsPartitionWithoutBurningAFlushLease) {
+  // Regression: heartbeat_sweep used to flush stale batch windows BEFORE
+  // probing. On a partitioned worker the flush opened a lease into the
+  // void and waited out a whole complete_timeout holding the session mutex
+  // — detection was suppressed past the heartbeat cadence, and the doomed
+  // window was misaccounted as a recovered loss. The sweep must probe
+  // first: the partitioned session is torn down within heartbeat_timeout
+  // and the stale window is dropped, never leased.
+  FakeFaultPlan plan;
+  plan.partitions = {{1.0, 2.0}};
+  Remote r(plan, /*max_workers=*/8, /*connect_timeout=*/100.0,
+           /*lease_batch=*/16);
+  r.join(1);
+  const std::uint64_t lease = r.backend.task_begin(0, 0);
+  ASSERT_NE(lease, 0u);
+  r.backend.task_end(0, lease);  // window open: 1 bracket, never flushed
+  r.clock.set(1.5);  // inside the blackout; the window is long stale
+  r.backend.heartbeat_sweep();
+  EXPECT_EQ(r.backend.live_sessions(), 0);  // detected within one sweep
+  const RemoteBackendStats s = r.backend.stats();
+  EXPECT_GE(s.sessions_lost, 1u);
+  // The load-bearing asserts: no lease was ever opened for the doomed
+  // window (it was dropped, not flushed into the partition), so nothing
+  // was recovered and the invariant holds at zero.
+  EXPECT_EQ(s.leases, 0u);
+  EXPECT_EQ(s.losses_recovered, 0u);
+  EXPECT_EQ(s.batch_flushes, 0u);
+  EXPECT_EQ(s.leases, s.completes + s.losses_recovered);
+}
+
 // ------------------------------------------- pool + coordinator integration --
 
 TEST(FakeTransport, FailedGrowNeverWedgesThePool) {
